@@ -1,0 +1,50 @@
+"""Benchmark — Figure 3: selection-algorithm overhead vs. n and l.
+
+The benchmarked callable is one full selection (distribution computation
+for every replica + Algorithm 1), the per-request cost the paper plots.
+"""
+
+import pytest
+
+from repro.core.estimator import ResponseTimeEstimator
+from repro.core.selection import ReplicaProbability, select_replicas
+from repro.experiments.fig3_overhead import build_loaded_repository
+
+
+@pytest.mark.parametrize("window_size", [5, 10, 20])
+@pytest.mark.parametrize("num_replicas", [2, 4, 6, 8])
+def test_fig3_selection_overhead(benchmark, num_replicas, window_size):
+    repository = build_loaded_repository(num_replicas, window_size, seed=0)
+    estimator = ResponseTimeEstimator(repository)
+    deadline = 150.0
+
+    def one_selection():
+        # Fresh distributions each request, as in the paper's handler.
+        estimator.invalidate()
+        candidates = [
+            ReplicaProbability(
+                name, estimator.probability_by(name, deadline)
+            )
+            for name in repository.replicas()
+        ]
+        return select_replicas(candidates, 0.9)
+
+    result = benchmark(one_selection)
+    assert 1 <= result.redundancy <= num_replicas
+    benchmark.extra_info["num_replicas"] = num_replicas
+    benchmark.extra_info["window_size"] = window_size
+
+
+def test_fig3_distribution_computation_dominates(benchmark):
+    """The paper attributes ~90 % of the overhead to the distributions."""
+    from repro.experiments.fig3_overhead import measure_overhead
+
+    point = benchmark.pedantic(
+        lambda: measure_overhead(7, 5, iterations=50),
+        rounds=1,
+        iterations=1,
+    )
+    assert point.distribution_fraction > 0.8
+    benchmark.extra_info["distribution_fraction"] = round(
+        point.distribution_fraction, 4
+    )

@@ -1,0 +1,49 @@
+"""Benchmark — Figure 4: average number of replicas selected.
+
+Runs the paper's two-client sweep and prints the Fig. 4 series.  The
+shape assertions encode the paper's two observations: redundancy falls
+as the deadline grows, and as the requested probability falls.
+"""
+
+from repro.experiments import fig45_selection
+
+from benchmarks.conftest import attach_rows
+
+DEADLINES = (100.0, 140.0, 200.0)
+PROBABILITIES = (0.9, 0.5, 0.0)
+
+
+def test_fig4_replicas_selected(benchmark):
+    points = benchmark.pedantic(
+        lambda: fig45_selection.run(
+            deadlines_ms=DEADLINES, probabilities=PROBABILITIES, seeds=(0, 1)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (p.min_probability, p.deadline_ms, p.avg_replicas_selected)
+        for p in points
+    ]
+    attach_rows(benchmark, ["Pc", "deadline_ms", "avg_replicas"], rows)
+    print()
+    print("Figure 4: average number of replicas selected (client 2)")
+    for row in rows:
+        print(f"  Pc={row[0]:<4}  deadline={row[1]:>5.0f} ms  "
+              f"avg replicas={row[2]:.2f}")
+
+    cell = {(p.min_probability, p.deadline_ms): p for p in points}
+    # Observation 1: fewer replicas as the deadline grows.
+    for pc in PROBABILITIES:
+        assert (
+            cell[(pc, 100.0)].avg_replicas_selected
+            >= cell[(pc, 200.0)].avg_replicas_selected
+        )
+    # Observation 2: fewer replicas as the requested probability falls.
+    for deadline in DEADLINES:
+        assert (
+            cell[(0.9, deadline)].avg_replicas_selected
+            >= cell[(0.0, deadline)].avg_replicas_selected
+        )
+    # The Pc=0 series sits at Algorithm 1's floor of 2 (plus bootstrap).
+    assert cell[(0.0, 200.0)].avg_replicas_selected < 2.3

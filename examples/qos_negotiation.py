@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""QoS negotiation: reacting to the violation callback.
+
+The paper's contract (§4, §5.4.2): when the system cannot sustain the
+requested probability of timely responses, the client is told through a
+callback and "can then either choose to renegotiate its QoS specification
+or issue its requests to the service at a later time".
+
+This example scripts that loop.  The client starts with an impossible
+demand (60 ms deadline against 100 ms mean service time).  The handler
+detects the violation and fires the callback; the client renegotiates to
+a realistic 180 ms deadline mid-run and finishes within budget.
+
+Run:  python examples/qos_negotiation.py
+"""
+
+from repro import QoSSpec, Scenario, ScenarioConfig
+
+
+def main() -> None:
+    scenario = Scenario(ScenarioConfig(seed=5, num_replicas=7))
+    service = scenario.config.service
+
+    impossible = QoSSpec(service, deadline_ms=60.0, min_probability=0.9)
+    realistic = QoSSpec(service, deadline_ms=180.0, min_probability=0.9)
+
+    notifications = []
+
+    def on_violation(service_name, observed_probability, spec):
+        notifications.append((scenario.sim.now, observed_probability))
+        # Renegotiate on the spot, as the paper's client may.
+        handler.renegotiate_qos(realistic)
+
+    client = scenario.add_client(
+        "client-1",
+        impossible,
+        num_requests=60,
+        violation_callback=on_violation,
+    )
+    handler = scenario.handlers["client-1"]
+
+    scenario.run_to_completion()
+
+    print("QoS negotiation driven by the violation callback\n")
+    print(f"initial spec : {impossible.deadline_ms:.0f} ms at "
+          f"Pc >= {impossible.min_probability}")
+    if notifications:
+        when, observed = notifications[0]
+        print(f"callback     : at t = {when / 1000:.1f} s, observed timely "
+              f"probability {observed:.2f} < 0.90")
+    print(f"renegotiated : {realistic.deadline_ms:.0f} ms at "
+          f"Pc >= {realistic.min_probability}")
+
+    # Outcomes after renegotiation are judged against the new deadline.
+    post = [o for o in client.outcomes if o.decision_meta.get("bootstrap") is False]
+    late_phase = client.outcomes[len(client.outcomes) // 2:]
+    failures = sum(1 for o in late_phase if not o.timely)
+    print(f"\nsecond half of the run: {failures}/{len(late_phase)} timing "
+          f"failures ({failures / len(late_phase):.2f} observed, 0.10 budget)")
+
+    assert notifications, "the impossible spec must trigger the callback"
+    assert failures / len(late_phase) <= 0.10
+    print("\nAfter renegotiation the service sustains the requested QoS.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Quickstart: one QoS-aware client against seven replicas.
+
+Builds the paper's testbed (seven replicas, Normal(100 ms, 50 ms) service
+delay), attaches a client that wants replies within 160 ms with
+probability >= 0.9, runs fifty requests, and prints what the timing fault
+handler did about it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import QoSSpec, Scenario, ScenarioConfig
+
+
+def main() -> None:
+    scenario = Scenario(ScenarioConfig(seed=7, num_replicas=7))
+    client = scenario.add_client(
+        "client-1",
+        QoSSpec("search", deadline_ms=160.0, min_probability=0.9),
+        num_requests=50,
+    )
+    scenario.run_to_completion()
+
+    summary = client.summary()
+    print("Quickstart: 50 requests, deadline 160 ms, Pc >= 0.9")
+    print(f"  timing failures       : {summary.timing_failures}/50 "
+          f"(observed probability {summary.failure_probability:.3f}, "
+          f"budget 0.100)")
+    print(f"  mean response time    : {summary.mean_response_ms:.1f} ms")
+    print(f"  mean replicas selected: {summary.mean_redundancy:.2f} of 7")
+
+    handler = scenario.handlers["client-1"]
+    print("\nPer-replica view of the gateway information repository:")
+    for name in handler.repository.replicas():
+        record = handler.repository.record(name)
+        probability = handler.estimator.probability_by(name, 160.0)
+        print(f"  {name}: F(160ms) = {probability:.3f}  "
+              f"T = {record.gateway_delay_ms:.2f} ms  "
+              f"queue = {record.queue_length}")
+
+    assert summary.failure_probability <= 0.1, "QoS should be met"
+    print("\nQoS met: observed failures stayed within the client's budget.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Post-run analyses: stage decomposition and model calibration."""
+
+from .calibration import CalibrationBucket, brier_score, calibration_table
+from .stages import RequestStages, extract_stages, stage_summaries
+
+__all__ = [
+    "RequestStages",
+    "extract_stages",
+    "stage_summaries",
+    "CalibrationBucket",
+    "calibration_table",
+    "brier_score",
+]

@@ -1,0 +1,101 @@
+"""Calibration analysis of the Equation 1 model.
+
+For every non-bootstrap request the dynamic policy records the predicted
+probability ``P_K(t)`` of a timely response in the decision metadata.
+Comparing these predictions against the observed outcome — bucketed by
+predicted probability — measures how well the paper's online model is
+calibrated, and where its independence assumption (response times of
+different replicas are independent) breaks down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..gateway.handlers.timing_fault import ReplyOutcome
+
+__all__ = ["CalibrationBucket", "calibration_table", "brier_score"]
+
+
+@dataclass(frozen=True)
+class CalibrationBucket:
+    """Requests whose predicted probability fell in one interval."""
+
+    low: float
+    high: float
+    count: int
+    mean_predicted: float
+    observed_timely: float
+
+    @property
+    def overconfidence(self) -> float:
+        """Predicted minus observed: positive = the model promised more."""
+        return self.mean_predicted - self.observed_timely
+
+
+def _prediction(outcome: ReplyOutcome) -> Optional[float]:
+    meta = outcome.decision_meta
+    if meta.get("bootstrap", False):
+        return None  # no model behind bootstrap selections
+    prediction = meta.get("full_probability")
+    if prediction is None:
+        return None
+    return float(prediction)
+
+
+def calibration_table(
+    outcomes: Iterable[ReplyOutcome], num_buckets: int = 10
+) -> List[CalibrationBucket]:
+    """Bucket predictions and compare with observed timely frequencies.
+
+    Empty buckets are omitted.  Requests without a model prediction
+    (bootstrap selections, baseline policies) are skipped.
+    """
+    if num_buckets < 1:
+        raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
+    pairs: List[Tuple[float, bool]] = []
+    for outcome in outcomes:
+        prediction = _prediction(outcome)
+        if prediction is not None:
+            pairs.append((prediction, outcome.timely))
+    buckets = []
+    width = 1.0 / num_buckets
+    for index in range(num_buckets):
+        low = index * width
+        high = low + width
+        members = [
+            (p, timely)
+            for p, timely in pairs
+            if low <= p < high or (index == num_buckets - 1 and p == 1.0)
+        ]
+        if not members:
+            continue
+        buckets.append(
+            CalibrationBucket(
+                low=low,
+                high=high,
+                count=len(members),
+                mean_predicted=sum(p for p, _t in members) / len(members),
+                observed_timely=(
+                    sum(1 for _p, timely in members if timely) / len(members)
+                ),
+            )
+        )
+    return buckets
+
+
+def brier_score(outcomes: Iterable[ReplyOutcome]) -> float:
+    """Mean squared error of the model's timeliness predictions.
+
+    0 is perfect; 0.25 is the score of always predicting 0.5.
+    """
+    errors = []
+    for outcome in outcomes:
+        prediction = _prediction(outcome)
+        if prediction is None:
+            continue
+        errors.append((prediction - (1.0 if outcome.timely else 0.0)) ** 2)
+    if not errors:
+        raise ValueError("no model-backed outcomes to score")
+    return sum(errors) / len(errors)

@@ -1,0 +1,125 @@
+"""Per-stage latency decomposition from traces (paper §5.1).
+
+The paper's authors "conducted experiments to determine the factors that
+have a significant impact on a replica's response time" and concluded the
+gateway-to-gateway delay, queuing delay and service time dominate — the
+decomposition that becomes Equation 2.  This module reproduces that
+off-line analysis: it correlates trace records into per-request stage
+durations along the winning reply's path.
+
+Stages (Fig. 2 of the paper):
+
+* ``client_ms``   — interception → transmission (marshal + selection, t0→t1)
+* ``request_ms``  — client gateway → server gateway (t1→t2)
+* ``queue_ms``    — FIFO wait at the replica (tq = t3 − t2)
+* ``service_ms``  — servant execution (ts)
+* ``reply_ms``    — reply leaving the server gateway → arrival (…→t4)
+
+Requires a scenario built with ``trace=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..metrics.stats import Summary, summarize
+from ..sim.trace import Tracer
+
+__all__ = ["RequestStages", "extract_stages", "stage_summaries"]
+
+
+@dataclass(frozen=True)
+class RequestStages:
+    """Stage durations for one completed request (winning replica path)."""
+
+    msg_id: int
+    client: str
+    replica: str
+    client_ms: float
+    request_ms: float
+    queue_ms: float
+    service_ms: float
+    reply_ms: float
+    total_ms: float
+
+    def network_share(self) -> float:
+        """Fraction of the response time spent on gateway-to-gateway paths.
+
+        The paper justifies Equation 1's independence assumption with
+        "the network delay is usually a small fraction of the replica's
+        response time in a LAN environment" — this is that fraction.
+        """
+        if self.total_ms <= 0:
+            return 0.0
+        return (self.request_ms + self.reply_ms) / self.total_ms
+
+
+def extract_stages(tracer: Tracer) -> List[RequestStages]:
+    """Correlate trace records into per-request stage decompositions.
+
+    Only requests with a delivered (non-timed-out) first reply appear;
+    the decomposition follows the replica that won the race.
+    """
+    sent: Dict[int, Tuple[float, float, str]] = {}  # msg_id -> (t0, t1, client)
+    enqueued: Dict[Tuple[int, str], float] = {}  # (msg_id, replica) -> t2
+    serviced: Dict[Tuple[int, str], Tuple[float, float, float]] = {}
+    replies: Dict[int, Tuple[float, str]] = {}  # first reply: t4, replica
+
+    for record in tracer.records:
+        if record.kind == "client.sent":
+            client = record.source.split(".", 1)[1]
+            sent[record.data["msg_id"]] = (
+                record.data["t0"], record.time, client
+            )
+        elif record.kind == "server.enqueued":
+            replica = record.source.split(".", 1)[1]
+            enqueued[(record.data["msg_id"], replica)] = record.time
+        elif record.kind == "server.serviced":
+            replica = record.source.split(".", 1)[1]
+            serviced[(record.data["msg_id"], replica)] = (
+                record.time, record.data["tq"], record.data["ts"]
+            )
+        elif record.kind == "client.reply":
+            msg_id = record.data["msg_id"]
+            if msg_id not in replies:  # first reply wins
+                replies[msg_id] = (record.time, record.data["replica"])
+
+    stages = []
+    for msg_id, (t4, replica) in replies.items():
+        if msg_id not in sent or (msg_id, replica) not in serviced:
+            continue
+        t0, t1, client = sent[msg_id]
+        t2 = enqueued.get((msg_id, replica))
+        if t2 is None:
+            continue
+        reply_sent_at, tq, ts = serviced[(msg_id, replica)]
+        stages.append(
+            RequestStages(
+                msg_id=msg_id,
+                client=client,
+                replica=replica,
+                client_ms=t1 - t0,
+                request_ms=t2 - t1,
+                queue_ms=tq,
+                service_ms=ts,
+                reply_ms=t4 - reply_sent_at,
+                total_ms=t4 - t0,
+            )
+        )
+    stages.sort(key=lambda s: s.msg_id)
+    return stages
+
+
+def stage_summaries(stages: List[RequestStages]) -> Dict[str, Summary]:
+    """Summaries per stage name, plus ``total``."""
+    if not stages:
+        raise ValueError("no completed requests in the trace")
+    return {
+        "client": summarize([s.client_ms for s in stages]),
+        "request-net": summarize([s.request_ms for s in stages]),
+        "queueing": summarize([s.queue_ms for s in stages]),
+        "service": summarize([s.service_ms for s in stages]),
+        "reply-net": summarize([s.reply_ms for s in stages]),
+        "total": summarize([s.total_ms for s in stages]),
+    }

@@ -1,0 +1,73 @@
+"""The paper's contribution: online model + dynamic replica selection.
+
+Layers (bottom up): :class:`DiscretePMF` (empirical distributions and
+their convolution), :class:`InformationRepository` (per-handler sliding
+windows of performance measurements), :class:`ResponseTimeEstimator`
+(Equation 2: ``R = S + W + T``), Equation 1 helpers in
+:mod:`repro.core.model`, and :func:`select_replicas` /
+:class:`DynamicSelectionPolicy` (Algorithm 1 with the bootstrap and
+overhead-compensation rules).  Baseline policies from related work live in
+:mod:`repro.core.baselines`.
+"""
+
+from .baselines import (
+    AllReplicasPolicy,
+    FixedRedundancyPolicy,
+    LowestMeanPolicy,
+    NearestPolicy,
+    ProbeEstimatePolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    SingleFastestPolicy,
+)
+from .distribution import DiscretePMF, quantize
+from .estimator import QueueScaledEstimator, ResponseTimeEstimator
+from .model import (
+    min_replicas_needed,
+    subset_timeliness_from_map,
+    subset_timeliness_probability,
+)
+from .negotiation import AdaptiveQoSController
+from .qos import QoSSpec, QoSViolationCallback, TimingFailureStats
+from .repository import InformationRepository, ReplicaRecord, SlidingWindow
+from .selection import (
+    DynamicSelectionPolicy,
+    ReplicaProbability,
+    SelectionContext,
+    SelectionDecision,
+    SelectionPolicy,
+    SelectionResult,
+    select_replicas,
+)
+
+__all__ = [
+    "DiscretePMF",
+    "quantize",
+    "InformationRepository",
+    "ReplicaRecord",
+    "SlidingWindow",
+    "ResponseTimeEstimator",
+    "QueueScaledEstimator",
+    "subset_timeliness_probability",
+    "subset_timeliness_from_map",
+    "min_replicas_needed",
+    "QoSSpec",
+    "QoSViolationCallback",
+    "TimingFailureStats",
+    "AdaptiveQoSController",
+    "select_replicas",
+    "SelectionResult",
+    "ReplicaProbability",
+    "SelectionContext",
+    "SelectionDecision",
+    "SelectionPolicy",
+    "DynamicSelectionPolicy",
+    "AllReplicasPolicy",
+    "SingleFastestPolicy",
+    "FixedRedundancyPolicy",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "LowestMeanPolicy",
+    "NearestPolicy",
+    "ProbeEstimatePolicy",
+]

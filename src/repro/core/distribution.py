@@ -1,0 +1,206 @@
+"""Empirical discrete distributions and their convolution.
+
+The heart of the paper's online model (§5.3.1): the pmfs of the service
+time ``S_i`` and queuing delay ``W_i`` are estimated from the relative
+frequency of the values in a sliding window, and the response-time pmf is
+their *discrete convolution* shifted by the most recent gateway-to-gateway
+delay ``T_i``:
+
+    R_i = S_i + W_i + T_i          (Equation 2)
+
+Continuous measurements are quantized onto a bin grid before counting so
+the convolution support stays bounded (``O(l²)`` points for window size
+``l``), which is also what makes the Fig. 3 overhead curve meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["DiscretePMF", "quantize"]
+
+# Sums of bin-aligned values accumulate float dust; keys are rounded to
+# this many decimals when aggregating convolution results.
+_KEY_DECIMALS = 9
+
+
+def quantize(value: float, bin_width: float) -> float:
+    """Round ``value`` to the nearest multiple of ``bin_width``."""
+    if bin_width <= 0:
+        raise ValueError(f"bin_width must be > 0, got {bin_width}")
+    return round(round(value / bin_width) * bin_width, _KEY_DECIMALS)
+
+
+class DiscretePMF:
+    """A probability mass function over a finite set of float values.
+
+    Instances are immutable; all operations return new pmfs.  Values are
+    kept sorted, probabilities sum to 1 (within float tolerance).
+    """
+
+    __slots__ = ("_values", "_probs")
+
+    def __init__(self, values: Sequence[float], probs: Sequence[float]):
+        if len(values) != len(probs):
+            raise ValueError("values and probs must have equal length")
+        if len(values) == 0:
+            raise ValueError("a pmf needs at least one atom")
+        values_arr = np.asarray(values, dtype=float)
+        probs_arr = np.asarray(probs, dtype=float)
+        if np.any(probs_arr < -1e-12):
+            raise ValueError("probabilities must be non-negative")
+        total = float(probs_arr.sum())
+        if not math.isclose(total, 1.0, rel_tol=1e-6, abs_tol=1e-6):
+            raise ValueError(f"probabilities must sum to 1, got {total}")
+        order = np.argsort(values_arr)
+        self._values = values_arr[order]
+        self._probs = np.maximum(probs_arr[order], 0.0)
+        # Renormalize away any float dust introduced by clipping.
+        self._probs = self._probs / self._probs.sum()
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def degenerate(cls, value: float) -> "DiscretePMF":
+        """The pmf of a constant."""
+        return cls([float(value)], [1.0])
+
+    @classmethod
+    def from_samples(
+        cls, samples: Sequence[float], bin_width: float = 1.0
+    ) -> "DiscretePMF":
+        """Relative-frequency pmf of ``samples`` on a ``bin_width`` grid.
+
+        This is exactly the paper's estimator: "we first compute the
+        probability mass function of S_i and W_i based on the relative
+        frequency of their values recorded in the sliding window".
+        """
+        if len(samples) == 0:
+            raise ValueError("cannot build a pmf from zero samples")
+        counts: Dict[float, int] = {}
+        for sample in samples:
+            key = quantize(float(sample), bin_width)
+            counts[key] = counts.get(key, 0) + 1
+        total = float(len(samples))
+        values = sorted(counts)
+        probs = [counts[v] / total for v in values]
+        return cls(values, probs)
+
+    # -- accessors ----------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """Atom locations, sorted ascending (read-only view)."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def probs(self) -> np.ndarray:
+        """Atom probabilities aligned with :attr:`values` (read-only)."""
+        view = self._probs.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def support_size(self) -> int:
+        """Number of atoms."""
+        return int(self._values.size)
+
+    def items(self) -> List[Tuple[float, float]]:
+        """``(value, probability)`` pairs, ascending by value."""
+        return list(zip(self._values.tolist(), self._probs.tolist()))
+
+    # -- statistics ---------------------------------------------------------
+    def mean(self) -> float:
+        """Expected value."""
+        return float(np.dot(self._values, self._probs))
+
+    def variance(self) -> float:
+        """Variance."""
+        mu = self.mean()
+        return float(np.dot((self._values - mu) ** 2, self._probs))
+
+    def cdf(self, t: float) -> float:
+        """``P(X <= t)`` — the distribution function ``F(t)``.
+
+        A small tolerance absorbs bin-grid float dust so that
+        ``cdf(value)`` includes the atom at ``value``; the result is
+        clamped to [0, 1] against summation roundoff.
+        """
+        if t >= self._values[-1] - 1e-9:
+            return 1.0  # at or beyond the largest atom: certain
+        total = float(self._probs[self._values <= t + 1e-9].sum())
+        return min(1.0, max(0.0, total))
+
+    def survival(self, t: float) -> float:
+        """``P(X > t) = 1 − F(t)``."""
+        return max(0.0, 1.0 - self.cdf(t))
+
+    def quantile(self, q: float) -> float:
+        """Smallest value ``v`` with ``F(v) >= q``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile level must be in [0, 1], got {q}")
+        cumulative = np.cumsum(self._probs)
+        index = int(np.searchsorted(cumulative, q - 1e-12))
+        index = min(index, self._values.size - 1)
+        return float(self._values[index])
+
+    def min(self) -> float:
+        """Smallest atom."""
+        return float(self._values[0])
+
+    def max(self) -> float:
+        """Largest atom."""
+        return float(self._values[-1])
+
+    # -- algebra ------------------------------------------------------------
+    def shift(self, delta: float) -> "DiscretePMF":
+        """The pmf of ``X + delta`` (adding a constant, e.g. ``T_i``)."""
+        values = np.round(self._values + float(delta), _KEY_DECIMALS)
+        return DiscretePMF(values, self._probs)
+
+    def scale(self, factor: float) -> "DiscretePMF":
+        """The pmf of ``factor · X`` (used by queue-scaling extensions)."""
+        if factor < 0:
+            raise ValueError(f"scale factor must be >= 0, got {factor}")
+        if factor == 0:
+            return DiscretePMF.degenerate(0.0)
+        values = np.round(self._values * float(factor), _KEY_DECIMALS)
+        # Scaling cannot merge distinct atoms (it is injective for f>0),
+        # so values stay unique.
+        return DiscretePMF(values, self._probs)
+
+    def convolve(self, other: "DiscretePMF") -> "DiscretePMF":
+        """The pmf of the sum of two independent variables.
+
+        All pairwise value sums are formed and equal sums aggregated —
+        the discrete convolution of §5.3.1.
+        """
+        sums = np.add.outer(self._values, other._values).ravel()
+        weights = np.multiply.outer(self._probs, other._probs).ravel()
+        keys = np.round(sums, _KEY_DECIMALS)
+        unique, inverse = np.unique(keys, return_inverse=True)
+        probs = np.bincount(inverse, weights=weights)
+        return DiscretePMF(unique, probs)
+
+    def __add__(self, other: "DiscretePMF") -> "DiscretePMF":
+        if not isinstance(other, DiscretePMF):
+            return NotImplemented
+        return self.convolve(other)
+
+    # -- comparison ----------------------------------------------------------
+    def allclose(self, other: "DiscretePMF", tol: float = 1e-9) -> bool:
+        """Structural equality within ``tol``."""
+        return (
+            self.support_size == other.support_size
+            and bool(np.allclose(self._values, other._values, atol=tol))
+            and bool(np.allclose(self._probs, other._probs, atol=tol))
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<DiscretePMF atoms={self.support_size} "
+            f"mean={self.mean():.3f} range=[{self.min():.3f}, {self.max():.3f}]>"
+        )

@@ -1,0 +1,74 @@
+"""The probabilistic timeliness model (paper §5.3, Equation 1).
+
+With only the earliest reply delivered, a timing failure occurs only when
+*no* replica in the selected subset ``K`` responds by the deadline.  Under
+the paper's independence assumption,
+
+    P_K(t) = 1 − Π_{m_i ∈ K} (1 − F_{R_i}(t))
+
+These helpers are deliberately free functions on plain floats so both the
+selection algorithm and the experiment analysis can share them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence
+
+__all__ = [
+    "subset_timeliness_probability",
+    "subset_timeliness_from_map",
+    "min_replicas_needed",
+]
+
+
+def subset_timeliness_probability(probabilities: Iterable[float]) -> float:
+    """``P_K(t)`` for a subset with the given individual ``F_{R_i}(t)``.
+
+    An empty subset has probability 0 (no replica can reply in time).
+    """
+    product = 1.0
+    empty = True
+    for p in probabilities:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probabilities must be in [0, 1], got {p}")
+        product *= 1.0 - p
+        empty = False
+    if empty:
+        return 0.0
+    return 1.0 - product
+
+
+def subset_timeliness_from_map(
+    subset: Sequence[str], probability_map: Dict[str, float]
+) -> float:
+    """``P_K(t)`` for named replicas with probabilities in a map."""
+    return subset_timeliness_probability(
+        probability_map[name] for name in subset
+    )
+
+
+def min_replicas_needed(individual_probability: float, target: float) -> int:
+    """Replicas required to hit ``target`` when each has equal probability.
+
+    Solves ``1 − (1 − p)^k ≥ target`` for the smallest integer ``k``.
+    Useful for sanity checks and capacity planning; returns a large
+    sentinel (``10**9``) when ``p == 0`` and ``target > 0`` (unreachable).
+    """
+    if not 0.0 <= individual_probability <= 1.0:
+        raise ValueError(
+            f"probability must be in [0, 1], got {individual_probability}"
+        )
+    if not 0.0 <= target <= 1.0:
+        raise ValueError(f"target must be in [0, 1], got {target}")
+    if target == 0.0:
+        return 1
+    if individual_probability == 0.0:
+        return 10**9
+    if individual_probability == 1.0:
+        return 1
+    # k >= log(1 - target) / log(1 - p)
+    k = math.log(1.0 - target) / math.log(1.0 - individual_probability) if target < 1.0 else math.inf
+    if math.isinf(k):
+        return 10**9
+    return max(1, math.ceil(k - 1e-12))

@@ -1,0 +1,130 @@
+"""Automated QoS renegotiation.
+
+The paper's contract (§4, §5.4.2) leaves the renegotiation decision to
+the application: on a violation callback, "the client can then either
+choose to renegotiate its QoS specification or issue its requests to the
+service at a later time."  :class:`AdaptiveQoSController` packages the
+common strategy — relax the deadline geometrically until the service can
+sustain the requested probability, then (optionally) probe tighter specs
+again once things look healthy.
+
+It is deliberately a *client-side* component: it only consumes the
+violation callback and the handler's public ``renegotiate_qos`` method,
+never the middleware internals.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol
+
+from .qos import QoSSpec
+
+__all__ = ["AdaptiveQoSController", "RenegotiatingHandler"]
+
+
+class RenegotiatingHandler(Protocol):
+    """What the controller needs from a handler."""
+
+    qos: QoSSpec
+
+    def renegotiate_qos(self, new_spec: QoSSpec) -> None:
+        """Adopt a new QoS specification."""
+
+
+class AdaptiveQoSController:
+    """Relaxes (and optionally re-tightens) a client's deadline.
+
+    Parameters
+    ----------
+    handler:
+        The client handler to renegotiate on (any object with ``qos`` and
+        ``renegotiate_qos``).
+    relax_factor:
+        Deadline multiplier applied on each violation (> 1).
+    max_deadline_ms:
+        Upper bound; violations beyond it are reported but no further
+        relaxation happens (the spec is as loose as the client accepts).
+    tighten_factor:
+        Optional multiplier (< 1) applied by :meth:`try_tighten` when the
+        caller decides the service has headroom again.
+    min_deadline_ms:
+        Lower bound for re-tightening; defaults to the original deadline.
+    """
+
+    def __init__(
+        self,
+        handler: RenegotiatingHandler,
+        relax_factor: float = 1.5,
+        max_deadline_ms: Optional[float] = None,
+        tighten_factor: float = 0.8,
+        min_deadline_ms: Optional[float] = None,
+    ):
+        if relax_factor <= 1.0:
+            raise ValueError(f"relax_factor must be > 1, got {relax_factor}")
+        if not 0.0 < tighten_factor < 1.0:
+            raise ValueError(
+                f"tighten_factor must be in (0, 1), got {tighten_factor}"
+            )
+        self.handler = handler
+        self.relax_factor = float(relax_factor)
+        self.tighten_factor = float(tighten_factor)
+        original = handler.qos.deadline_ms
+        self.max_deadline_ms = (
+            float(max_deadline_ms) if max_deadline_ms is not None
+            else original * 8.0
+        )
+        self.min_deadline_ms = (
+            float(min_deadline_ms) if min_deadline_ms is not None else original
+        )
+        if self.min_deadline_ms > self.max_deadline_ms:
+            raise ValueError("min_deadline_ms exceeds max_deadline_ms")
+        #: (time-agnostic) history of adopted deadlines, newest last.
+        self.history: List[float] = [original]
+        self.exhausted = False
+
+    # -- the violation callback ------------------------------------------------
+    def on_violation(
+        self, service: str, observed_probability: float, spec: QoSSpec
+    ) -> None:
+        """Plug this into the handler's ``violation_callback``."""
+        self.relax()
+
+    def relax(self) -> Optional[QoSSpec]:
+        """Relax the deadline one step; returns the new spec (or None)."""
+        current = self.handler.qos
+        if current.deadline_ms >= self.max_deadline_ms:
+            self.exhausted = True
+            return None
+        new_deadline = min(
+            self.max_deadline_ms, current.deadline_ms * self.relax_factor
+        )
+        new_spec = current.renegotiate(deadline_ms=new_deadline)
+        self.handler.renegotiate_qos(new_spec)
+        self.history.append(new_deadline)
+        self.exhausted = new_deadline >= self.max_deadline_ms
+        return new_spec
+
+    def try_tighten(self) -> Optional[QoSSpec]:
+        """Tighten one step (call when the service shows headroom)."""
+        current = self.handler.qos
+        if current.deadline_ms <= self.min_deadline_ms:
+            return None
+        new_deadline = max(
+            self.min_deadline_ms, current.deadline_ms * self.tighten_factor
+        )
+        new_spec = current.renegotiate(deadline_ms=new_deadline)
+        self.handler.renegotiate_qos(new_spec)
+        self.history.append(new_deadline)
+        self.exhausted = False
+        return new_spec
+
+    @property
+    def relaxations(self) -> int:
+        """Number of deadline changes performed so far."""
+        return len(self.history) - 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<AdaptiveQoSController deadline={self.handler.qos.deadline_ms} "
+            f"steps={self.relaxations} exhausted={self.exhausted}>"
+        )

@@ -1,0 +1,135 @@
+"""QoS specifications and the timing-failure accounting contract.
+
+A client "expresses its requirements as a quality of service (QoS)
+specification ... the name of a service, the time by which the client
+wants to receive a response after it transmits its request to this
+service, and the minimum probability with which it wants this time
+constraint to be met" (paper §4).  The client may negotiate the spec at
+runtime; if the system cannot keep the timely-response frequency above the
+requested minimum, it is notified through a callback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+__all__ = ["QoSSpec", "TimingFailureStats", "QoSViolationCallback"]
+
+# Signature of the client callback invoked on a QoS violation:
+# callback(service_name, observed_timely_probability, spec)
+QoSViolationCallback = Callable[[str, float, "QoSSpec"], None]
+
+
+@dataclass(frozen=True)
+class QoSSpec:
+    """A client's timing requirement for one service.
+
+    Attributes
+    ----------
+    service:
+        Name of the replicated service.
+    deadline_ms:
+        Response must arrive within this many milliseconds of the client's
+        request (the paper's ``t``).
+    min_probability:
+        Minimum probability of a timely response (the paper's ``Pc(t)``).
+        ``0.0`` means the client tolerates any failure rate — the paper
+        uses this as the worst-case configuration in §6.
+    """
+
+    service: str
+    deadline_ms: float
+    min_probability: float
+
+    def __post_init__(self) -> None:
+        if self.deadline_ms <= 0:
+            raise ValueError(f"deadline must be > 0 ms, got {self.deadline_ms}")
+        if not 0.0 <= self.min_probability <= 1.0:
+            raise ValueError(
+                f"min_probability must be in [0, 1], got {self.min_probability}"
+            )
+
+    def renegotiate(
+        self,
+        deadline_ms: Optional[float] = None,
+        min_probability: Optional[float] = None,
+    ) -> "QoSSpec":
+        """A new spec with the given fields changed (runtime negotiation)."""
+        return replace(
+            self,
+            deadline_ms=self.deadline_ms if deadline_ms is None else deadline_ms,
+            min_probability=(
+                self.min_probability
+                if min_probability is None
+                else min_probability
+            ),
+        )
+
+    @property
+    def max_failure_probability(self) -> float:
+        """The failure rate the client is willing to tolerate."""
+        return 1.0 - self.min_probability
+
+
+class TimingFailureStats:
+    """Counts timely vs. late responses for one client/service pair.
+
+    The handler "maintains a counter that keeps track of the number of
+    times its client has failed to receive a timely response" (§5.4.2) and
+    issues a callback when the observed timely frequency falls below the
+    spec's minimum probability.
+
+    ``min_samples`` guards the ratio test: with very few responses the
+    observed frequency is noise, so no violation is reported before that
+    many responses have been seen.
+    """
+
+    def __init__(self, min_samples: int = 10):
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        self.min_samples = int(min_samples)
+        self.responses = 0
+        self.timing_failures = 0
+
+    def record(self, response_time_ms: float, deadline_ms: float) -> bool:
+        """Record one response; returns ``True`` if it was a timing failure."""
+        self.responses += 1
+        failed = response_time_ms > deadline_ms
+        if failed:
+            self.timing_failures += 1
+        return failed
+
+    @property
+    def timely_responses(self) -> int:
+        """Number of responses that met the deadline."""
+        return self.responses - self.timing_failures
+
+    @property
+    def observed_timely_probability(self) -> float:
+        """Fraction of responses that met the deadline (1.0 before any)."""
+        if self.responses == 0:
+            return 1.0
+        return self.timely_responses / self.responses
+
+    @property
+    def observed_failure_probability(self) -> float:
+        """Fraction of responses that missed the deadline."""
+        return 1.0 - self.observed_timely_probability
+
+    def violates(self, spec: QoSSpec) -> bool:
+        """Whether the observed frequency has fallen below the spec."""
+        if self.responses < self.min_samples:
+            return False
+        return self.observed_timely_probability < spec.min_probability
+
+    def reset(self) -> None:
+        """Clear the counters (e.g. after renegotiation)."""
+        self.responses = 0
+        self.timing_failures = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<TimingFailureStats responses={self.responses} "
+            f"failures={self.timing_failures}>"
+        )

@@ -1,0 +1,255 @@
+"""The gateway information repository (paper §5.2).
+
+One repository lives inside each client's timing fault handler and caches,
+for every replica of the handler's service:
+
+* the current number of outstanding requests in the replica's queue,
+* the most recently measured two-way gateway-to-gateway delay ``T_i``,
+* a *service time vector* — the service times of the most recent ``l``
+  requests (a sliding window), and
+* a *queuing delay vector* — the queuing delays over the same window.
+
+The repository is deliberately local (no remote calls, no concurrency
+control) — the paper lists exactly these advantages over a global
+information service.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional
+
+__all__ = ["SlidingWindow", "ReplicaRecord", "InformationRepository"]
+
+
+class SlidingWindow:
+    """Fixed-capacity window over the most recent measurements."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError(f"window size must be >= 1, got {size}")
+        self.size = int(size)
+        self._values: Deque[float] = deque(maxlen=self.size)
+        # Monotone version, bumped on every append; estimators use it to
+        # cache derived pmfs.
+        self.version = 0
+
+    def append(self, value: float) -> None:
+        """Push one measurement, evicting the oldest if full."""
+        if value < 0:
+            raise ValueError(f"measurements must be >= 0, got {value}")
+        self._values.append(float(value))
+        self.version += 1
+
+    def values(self) -> List[float]:
+        """Current window contents, oldest first (copy)."""
+        return list(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def full(self) -> bool:
+        """Whether the window has reached capacity."""
+        return len(self._values) == self.size
+
+    def clear(self) -> None:
+        """Drop all measurements."""
+        self._values.clear()
+        self.version += 1
+
+    def __repr__(self) -> str:
+        return f"<SlidingWindow {len(self._values)}/{self.size}>"
+
+
+class ReplicaRecord:
+    """Everything the repository knows about one replica.
+
+    ``gateway_window_size`` enables the paper's §5.3.1 extension: instead
+    of keeping only the most recent two-way gateway delay, a sliding
+    window of recent values is retained so the estimator can treat ``T_i``
+    as a distribution — useful on LANs whose traffic *does* fluctuate.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        window_size: int,
+        gateway_window_size: Optional[int] = None,
+    ):
+        self.name = name
+        self.service_times = SlidingWindow(window_size)
+        self.queue_delays = SlidingWindow(window_size)
+        self.gateway_delay_ms: Optional[float] = None
+        self.gateway_delays: Optional[SlidingWindow] = (
+            SlidingWindow(gateway_window_size)
+            if gateway_window_size is not None
+            else None
+        )
+        self.queue_length = 0
+        self.last_update_ms: Optional[float] = None
+        self._version = 0
+
+    @property
+    def has_history(self) -> bool:
+        """Whether enough data exists to build a response-time model.
+
+        One sample in each window plus a measured gateway delay suffices —
+        the model just gets sharper as the windows fill.
+        """
+        return (
+            len(self.service_times) > 0
+            and len(self.queue_delays) > 0
+            and self.gateway_delay_ms is not None
+        )
+
+    @property
+    def version(self) -> int:
+        """Monotone version covering every mutable field (cache key)."""
+        return self._version
+
+    def record_performance(
+        self,
+        service_time_ms: float,
+        queue_delay_ms: float,
+        queue_length: int,
+        now_ms: float,
+    ) -> None:
+        """Fold in a performance update pushed by the replica."""
+        if queue_length < 0:
+            raise ValueError(f"queue_length must be >= 0, got {queue_length}")
+        self.service_times.append(service_time_ms)
+        self.queue_delays.append(queue_delay_ms)
+        self.queue_length = int(queue_length)
+        self.last_update_ms = float(now_ms)
+        self._version += 1
+
+    def record_gateway_delay(self, delay_ms: float, now_ms: float) -> None:
+        """Store a freshly measured two-way gateway-to-gateway delay."""
+        if delay_ms < 0:
+            # Clock arithmetic (t4 − t1 − tq − ts) can go slightly negative
+            # when stage timestamps straddle a bin boundary; clamp.
+            delay_ms = 0.0
+        self.gateway_delay_ms = float(delay_ms)
+        if self.gateway_delays is not None:
+            self.gateway_delays.append(float(delay_ms))
+        self.last_update_ms = float(now_ms)
+        self._version += 1
+
+    def staleness(self, now_ms: float) -> float:
+        """Milliseconds since the last update (``inf`` if never updated).
+
+        Drives the active-probing extension: records whose staleness
+        exceeds a threshold get refreshed out of band.
+        """
+        if self.last_update_ms is None:
+            return float("inf")
+        return max(0.0, float(now_ms) - self.last_update_ms)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ReplicaRecord {self.name!r} qlen={self.queue_length} "
+            f"T={self.gateway_delay_ms} history={self.has_history}>"
+        )
+
+
+class InformationRepository:
+    """Per-handler cache of replica performance data.
+
+    Parameters
+    ----------
+    window_size:
+        The paper's ``l`` — the number of recent requests whose service
+        time and queuing delay are retained per replica.
+    """
+
+    def __init__(
+        self,
+        window_size: int = 5,
+        gateway_window_size: Optional[int] = None,
+    ):
+        if window_size < 1:
+            raise ValueError(f"window_size must be >= 1, got {window_size}")
+        if gateway_window_size is not None and gateway_window_size < 1:
+            raise ValueError(
+                f"gateway_window_size must be >= 1, got {gateway_window_size}"
+            )
+        self.window_size = int(window_size)
+        self.gateway_window_size = gateway_window_size
+        self._records: Dict[str, ReplicaRecord] = {}
+
+    # -- membership ----------------------------------------------------------
+    def add_replica(self, name: str) -> ReplicaRecord:
+        """Start tracking a replica (idempotent; returns its record)."""
+        record = self._records.get(name)
+        if record is None:
+            record = ReplicaRecord(
+                name, self.window_size, self.gateway_window_size
+            )
+            self._records[name] = record
+        return record
+
+    def remove_replica(self, name: str) -> None:
+        """Forget a replica (idempotent) — e.g. on a crash notification."""
+        self._records.pop(name, None)
+
+    def sync_members(self, members: Iterable[str]) -> None:
+        """Reconcile tracked replicas with a new group view."""
+        members = set(members)
+        for name in list(self._records):
+            if name not in members:
+                del self._records[name]
+        for name in members:
+            self.add_replica(name)
+
+    # -- lookup ---------------------------------------------------------------
+    def replicas(self) -> List[str]:
+        """Names of all tracked replicas (sorted for determinism)."""
+        return sorted(self._records)
+
+    def record(self, name: str) -> ReplicaRecord:
+        """The record for ``name`` (KeyError if untracked)."""
+        try:
+            return self._records[name]
+        except KeyError:
+            raise KeyError(f"replica {name!r} is not tracked") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def replicas_with_history(self) -> List[str]:
+        """Replicas for which a response-time model can be built."""
+        return [name for name in self.replicas() if self._records[name].has_history]
+
+    def all_have_history(self) -> bool:
+        """Whether every tracked replica has usable history."""
+        return bool(self._records) and all(
+            record.has_history for record in self._records.values()
+        )
+
+    # -- updates (called by the handler) --------------------------------------
+    def record_performance(
+        self,
+        name: str,
+        service_time_ms: float,
+        queue_delay_ms: float,
+        queue_length: int,
+        now_ms: float,
+    ) -> None:
+        """Fold a pushed performance update into ``name``'s record."""
+        self.add_replica(name).record_performance(
+            service_time_ms, queue_delay_ms, queue_length, now_ms
+        )
+
+    def record_gateway_delay(self, name: str, delay_ms: float, now_ms: float) -> None:
+        """Store a measured two-way gateway delay for ``name``."""
+        self.add_replica(name).record_gateway_delay(delay_ms, now_ms)
+
+    def __repr__(self) -> str:
+        return (
+            f"<InformationRepository replicas={len(self._records)} "
+            f"l={self.window_size}>"
+        )

@@ -1,0 +1,309 @@
+"""Algorithm 1 — model-based dynamic replica selection (paper §5.3.2).
+
+``select_replicas`` is a line-by-line transcription of the paper's
+Algorithm 1: replicas are sorted by decreasing ``F_{R_i}(t)``; the
+best replica ``m0`` is *always* part of the result but deliberately
+excluded from the acceptance test, so the rest of the set alone satisfies
+the client's probability.  Should any single member of the returned set
+crash before responding, the survivors still meet the constraint
+(Equation 3 of the paper).  If no such set exists, the complete replica
+set ``M`` is returned.
+
+:class:`DynamicSelectionPolicy` wraps the algorithm with the paper's two
+operational details: the select-*all* bootstrap for replicas without
+performance history (§5.4.1) and the online overhead compensation that
+replaces ``t`` by ``t − δ`` (§5.3.3), with ``δ`` the most recently
+measured execution time of the selection itself.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .estimator import ResponseTimeEstimator
+from .qos import QoSSpec
+
+__all__ = [
+    "ReplicaProbability",
+    "SelectionResult",
+    "select_replicas",
+    "SelectionContext",
+    "SelectionDecision",
+    "SelectionPolicy",
+    "DynamicSelectionPolicy",
+]
+
+
+@dataclass(frozen=True)
+class ReplicaProbability:
+    """A replica name with its estimated ``F_{R_i}(t)``."""
+
+    name: str
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of running Algorithm 1.
+
+    Attributes
+    ----------
+    selected:
+        The chosen replica names, best (highest ``F``) first.
+    crash_safe_probability:
+        ``P_X(t)`` of the selected set *excluding* the protected best
+        members — the probability guaranteed to survive the tolerated
+        number of crashes.  0.0 when the fallback path was taken and even
+        the full set cannot provide the guarantee.
+    full_probability:
+        ``P_K(t)`` of the whole selected set.
+    used_fallback:
+        ``True`` when no acceptable subset existed and the complete
+        replica set was returned (Line 15 of Algorithm 1).
+    """
+
+    selected: Tuple[str, ...]
+    crash_safe_probability: float
+    full_probability: float
+    used_fallback: bool
+
+    @property
+    def redundancy(self) -> int:
+        """Number of replicas the request will be sent to."""
+        return len(self.selected)
+
+
+def select_replicas(
+    candidates: Sequence[ReplicaProbability],
+    min_probability: float,
+    crash_tolerance: int = 1,
+) -> SelectionResult:
+    """Run Algorithm 1 over ``candidates``.
+
+    Parameters
+    ----------
+    candidates:
+        Replicas with their individual timeliness probabilities
+        ``F_{R_i}(t)`` (the algorithm's input set ``V``).
+    min_probability:
+        The client's ``Pc(t)``.
+    crash_tolerance:
+        Number of simultaneous member crashes the returned set must
+        absorb while still meeting ``min_probability``.  The paper's
+        Algorithm 1 is the ``crash_tolerance=1`` case; ``0`` disables the
+        always-include-the-best rule (pure probability cover), and higher
+        values protect the ``k`` best members, following the extension the
+        paper sketches at the end of §5.3.2.
+
+    Notes
+    -----
+    Ties in probability are broken by replica name so selection is
+    deterministic for a given input.
+    """
+    if not candidates:
+        raise ValueError("select_replicas needs at least one candidate")
+    if not 0.0 <= min_probability <= 1.0:
+        raise ValueError(
+            f"min_probability must be in [0, 1], got {min_probability}"
+        )
+    if crash_tolerance < 0:
+        raise ValueError(f"crash_tolerance must be >= 0, got {crash_tolerance}")
+
+    # Line 3: sort in decreasing order of F_{R_i}(t).
+    sorted_list = sorted(candidates, key=lambda c: (-c.probability, c.name))
+
+    # Line 4 (generalized): always protect the best `crash_tolerance`
+    # replicas; they join the result but not the acceptance test.
+    protected = sorted_list[:crash_tolerance]
+    remainder = sorted_list[crash_tolerance:]
+
+    # Lines 6-14: grow the candidate set X until it alone covers Pc.
+    chosen: List[ReplicaProbability] = []
+    product = 1.0
+    for candidate in remainder:
+        chosen.append(candidate)
+        product *= 1.0 - candidate.probability
+        if 1.0 - product >= min_probability:
+            selected = protected + chosen
+            return SelectionResult(
+                selected=tuple(c.name for c in selected),
+                crash_safe_probability=1.0 - product,
+                full_probability=_subset_probability(selected),
+                used_fallback=False,
+            )
+
+    # Line 15: no acceptable subset — return the complete set M.
+    crash_safe = 1.0 - product if remainder else 0.0
+    return SelectionResult(
+        selected=tuple(c.name for c in sorted_list),
+        crash_safe_probability=(
+            crash_safe if crash_safe >= min_probability else 0.0
+        ),
+        full_probability=_subset_probability(sorted_list),
+        used_fallback=True,
+    )
+
+
+def _subset_probability(subset: Sequence[ReplicaProbability]) -> float:
+    product = 1.0
+    for candidate in subset:
+        product *= 1.0 - candidate.probability
+    return 1.0 - product
+
+
+# ---------------------------------------------------------------------------
+# Policy layer: the pluggable interface the gateway handler drives.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SelectionContext:
+    """Everything a selection policy may consult for one request.
+
+    Attributes
+    ----------
+    replicas:
+        Live replicas of the service, per the current group view.
+    estimator:
+        Response-time estimator over the handler's repository.
+    qos:
+        The client's QoS specification.
+    now_ms:
+        Current simulated time.
+    rng:
+        Random generator for stochastic policies.
+    distance:
+        Optional static distance metric (for nearest-replica baselines).
+    """
+
+    replicas: List[str]
+    estimator: ResponseTimeEstimator
+    qos: QoSSpec
+    now_ms: float
+    rng: np.random.Generator
+    distance: Optional[Callable[[str], float]] = None
+
+
+@dataclass(frozen=True)
+class SelectionDecision:
+    """A policy's verdict for one request."""
+
+    selected: Tuple[str, ...]
+    # Free-form diagnostics: probabilities, fallback flags, overhead, ...
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def redundancy(self) -> int:
+        """Number of replicas addressed."""
+        return len(self.selected)
+
+
+class SelectionPolicy:
+    """Interface implemented by every replica-selection strategy."""
+
+    #: Short name used in experiment tables.
+    name = "abstract"
+
+    def decide(self, ctx: SelectionContext) -> SelectionDecision:
+        """Choose the replicas that will service this request."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class DynamicSelectionPolicy(SelectionPolicy):
+    """The paper's policy: probabilistic model + Algorithm 1.
+
+    Parameters
+    ----------
+    crash_tolerance:
+        Member crashes the selected set must absorb (paper: 1).
+    compensate_overhead:
+        When ``True`` (paper §5.3.3), selection evaluates
+        ``F_{R_i}(t − δ)`` with ``δ`` the most recently *measured*
+        execution time of this policy's own ``decide``.
+    fixed_overhead_ms:
+        Overrides the measured ``δ`` with a constant — useful for
+        deterministic tests and for simulating slower selection hosts.
+    """
+
+    name = "dynamic"
+
+    def __init__(
+        self,
+        crash_tolerance: int = 1,
+        compensate_overhead: bool = True,
+        fixed_overhead_ms: Optional[float] = None,
+    ):
+        if fixed_overhead_ms is not None and fixed_overhead_ms < 0:
+            raise ValueError(
+                f"fixed_overhead_ms must be >= 0, got {fixed_overhead_ms}"
+            )
+        self.crash_tolerance = int(crash_tolerance)
+        self.compensate_overhead = bool(compensate_overhead)
+        self.fixed_overhead_ms = fixed_overhead_ms
+        #: δ from the previous execution, milliseconds (paper measures it
+        #: "each time the selection algorithm is executed").
+        self.last_overhead_ms = 0.0
+
+    def decide(self, ctx: SelectionContext) -> SelectionDecision:
+        started = time.perf_counter()
+
+        # Bootstrap (paper §5.4.1): with no performance data for some
+        # replica there is no model for it; the first access selects all
+        # replicas so that every one starts publishing updates.
+        candidates: List[ReplicaProbability] = []
+        missing_history = False
+        deadline = ctx.qos.deadline_ms
+        if self.compensate_overhead:
+            delta = (
+                self.fixed_overhead_ms
+                if self.fixed_overhead_ms is not None
+                else self.last_overhead_ms
+            )
+            deadline = max(0.0, deadline - delta)
+        for replica in ctx.replicas:
+            probability = ctx.estimator.probability_by(replica, deadline)
+            if probability is None:
+                missing_history = True
+                break
+            candidates.append(ReplicaProbability(replica, probability))
+
+        if missing_history or not candidates:
+            self.last_overhead_ms = (time.perf_counter() - started) * 1000.0
+            return SelectionDecision(
+                selected=tuple(ctx.replicas),
+                meta={"bootstrap": True, "fallback": False},
+            )
+
+        result = select_replicas(
+            candidates,
+            ctx.qos.min_probability,
+            crash_tolerance=self.crash_tolerance,
+        )
+        self.last_overhead_ms = (time.perf_counter() - started) * 1000.0
+        return SelectionDecision(
+            selected=result.selected,
+            meta={
+                "bootstrap": False,
+                "fallback": result.used_fallback,
+                "crash_safe_probability": result.crash_safe_probability,
+                "full_probability": result.full_probability,
+                "effective_deadline_ms": deadline,
+                "overhead_ms": self.last_overhead_ms,
+                "probabilities": {
+                    c.name: c.probability for c in candidates
+                },
+            },
+        )

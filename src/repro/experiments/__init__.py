@@ -1,0 +1,77 @@
+"""Experiment harnesses regenerating the paper's figures and the ablations.
+
+Each module exposes ``run(...)`` returning structured results and
+``main()`` printing a paper-style table; all are runnable as
+``python -m repro.experiments.<module>``.
+
+===================  =====================================================
+Module               Reproduces
+===================  =====================================================
+``fig3_overhead``    Fig. 3 — selection overhead vs. n and l
+``fig45_selection``  Fig. 4 (redundancy) and Fig. 5 (timing failures)
+``min_response``     §6's ≈3.5 ms response-time floor
+``policy_comparison`` Ablation A1/A4 — baselines + overhead compensation
+``crash_tolerance``  Ablation A2 — single-crash guarantee of §5.3.2
+``window_sensitivity`` Ablation A3 — sliding-window size ``l``
+``scalability``      Ablation A5 — concurrent clients vs. redundancy
+``probing``          Ablation A6 — §8 active probing of stale records
+``method_classification`` Ablation A7 — §8 per-method performance models
+``bursty_network``   Ablation A8 — §5.3.1 windowed gateway delays
+``factors``          §5.1 — per-stage response-time decomposition
+``calibration``      Ablation A9 — Eq. 1 calibration vs. correlated LAN
+``omission_faults``  Ablation A10 — per-link message-loss sweep
+``queue_scaling``    Ablation A11 — queue-depth-scaled estimation
+``colocation``       Ablation A12 — routing around co-located load
+``retransmission``   Ablation A13 — §1 redundancy vs. retry strategies
+``adaptation_timeline`` Ablation A14 — transient through a crash window
+``export``           CSV export of every figure's data series
+``run_all``          run every harness in sequence
+===================  =====================================================
+"""
+
+from . import (
+    adaptation_timeline,
+    bursty_network,
+    calibration,
+    colocation,
+    crash_tolerance,
+    export,
+    factors,
+    fig3_overhead,
+    fig45_selection,
+    harness,
+    method_classification,
+    min_response,
+    omission_faults,
+    policy_comparison,
+    probing,
+    queue_scaling,
+    retransmission,
+    scalability,
+    window_sensitivity,
+)
+from .harness import TwoClientResult, run_two_client_experiment
+
+__all__ = [
+    "harness",
+    "fig3_overhead",
+    "fig45_selection",
+    "min_response",
+    "policy_comparison",
+    "crash_tolerance",
+    "window_sensitivity",
+    "scalability",
+    "probing",
+    "method_classification",
+    "bursty_network",
+    "factors",
+    "calibration",
+    "omission_faults",
+    "queue_scaling",
+    "colocation",
+    "retransmission",
+    "adaptation_timeline",
+    "export",
+    "TwoClientResult",
+    "run_two_client_experiment",
+]

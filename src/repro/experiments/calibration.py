@@ -1,0 +1,119 @@
+"""Ablation A9 — calibration of the Equation 1 model.
+
+The paper assumes replica response times are independent, arguing the
+shared-network correlation is negligible on a LAN (§5.3).  This ablation
+quantifies that argument: it compares the model's per-request predicted
+probability ``P_K(t)`` against observed outcomes, on
+
+* the paper's LAN (independent link jitter), and
+* a LAN with *shared congestion* — a common switch adds the same
+  Markov-modulated delay to every concurrent message, the situation where
+  the first-reply race stops being a race of independents.
+
+A calibrated model has observed ≈ predicted in every bucket; correlation
+shows up as overconfidence (observed < predicted) in the high buckets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..analysis.calibration import CalibrationBucket, brier_score, calibration_table
+from ..core.qos import QoSSpec
+from ..sim.random import Constant, MarkovModulated, Normal
+from ..workload.scenarios import Scenario, ScenarioConfig
+from .harness import print_table
+
+__all__ = ["CalibrationRun", "run_one", "run", "main"]
+
+
+@dataclass(frozen=True)
+class CalibrationRun:
+    """Calibration results for one network regime."""
+
+    regime: str
+    buckets: List[CalibrationBucket]
+    brier: float
+    max_overconfidence: float
+
+
+def _shared_congestion() -> MarkovModulated:
+    """A shared switch that occasionally delays *everything* by ~30 ms."""
+    return MarkovModulated(
+        Constant(0.0),
+        Normal(30.0, 8.0),
+        p_enter_burst=0.02,
+        p_exit_burst=0.10,
+    )
+
+
+def run_one(
+    correlated: bool,
+    deadlines_ms: Sequence[float] = (110.0, 130.0, 150.0, 180.0),
+    min_probability: float = 0.5,
+    seeds: Sequence[int] = (0, 1, 2),
+    num_requests: int = 50,
+) -> CalibrationRun:
+    """Pool predictions over deadlines/seeds for one network regime."""
+    outcomes = []
+    for seed in seeds:
+        for deadline in deadlines_ms:
+            scenario = Scenario(
+                ScenarioConfig(
+                    seed=seed,
+                    shared_congestion=(
+                        _shared_congestion() if correlated else None
+                    ),
+                )
+            )
+            client = scenario.add_client(
+                "client-1",
+                QoSSpec(scenario.config.service, deadline, min_probability),
+                num_requests=num_requests,
+            )
+            scenario.run_to_completion()
+            outcomes.extend(client.outcomes)
+    buckets = calibration_table(outcomes, num_buckets=10)
+    return CalibrationRun(
+        regime="correlated (shared switch)" if correlated else "independent (paper LAN)",
+        buckets=buckets,
+        brier=brier_score(outcomes),
+        max_overconfidence=max(b.overconfidence for b in buckets),
+    )
+
+
+def run(
+    seeds: Sequence[int] = (0, 1, 2), num_requests: int = 50
+) -> List[CalibrationRun]:
+    """Both network regimes."""
+    return [
+        run_one(correlated=False, seeds=seeds, num_requests=num_requests),
+        run_one(correlated=True, seeds=seeds, num_requests=num_requests),
+    ]
+
+
+def main() -> None:
+    """Print calibration tables for both regimes."""
+    for result in run():
+        rows = [
+            (
+                f"[{b.low:.1f}, {b.high:.1f})",
+                b.count,
+                b.mean_predicted,
+                b.observed_timely,
+                b.overconfidence,
+            )
+            for b in result.buckets
+        ]
+        print_table(
+            f"Model calibration — {result.regime} "
+            f"(Brier {result.brier:.4f})",
+            ["predicted bucket", "n", "mean predicted", "observed timely",
+             "overconfidence"],
+            rows,
+        )
+
+
+if __name__ == "__main__":
+    main()

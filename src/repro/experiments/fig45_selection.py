@@ -1,0 +1,119 @@
+"""Figures 4 and 5 — redundancy level and observed timing failures.
+
+The paper's headline experiment (§6): two clients, seven replicas, fifty
+requests per run, one-second think time, service delay ~ Normal(100 ms,
+50 ms).  Client 1 is fixed at (200 ms, Pc ≥ 0).  Client 2 sweeps its
+deadline over 100–200 ms for requested probabilities 0.9, 0.5 and 0.
+
+Reproduced claims:
+
+* Fig. 4 — the average number of replicas selected for client 2 falls as
+  the deadline grows and as the requested probability falls, bottoming
+  out at 2 (Algorithm 1's minimum);
+* Fig. 5 — the observed timing-failure probability stays below the
+  1 − Pc the client tolerates (paper: max 0.08 for Pc=0.9, ≈0.32/0.36
+  for Pc=0.5/0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .harness import average, print_table, run_two_client_experiment
+
+__all__ = ["SweepPoint", "run", "main", "DEADLINES_MS", "PROBABILITIES"]
+
+DEADLINES_MS = (100.0, 120.0, 140.0, 160.0, 180.0, 200.0)
+PROBABILITIES = (0.9, 0.5, 0.0)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Averages over seeds for one (deadline, Pc) configuration."""
+
+    deadline_ms: float
+    min_probability: float
+    avg_replicas_selected: float
+    failure_probability: float
+    mean_response_ms: float
+    runs: int
+
+    @property
+    def tolerated_failure_probability(self) -> float:
+        """The failure rate the client accepts (1 − Pc)."""
+        return 1.0 - self.min_probability
+
+
+def run(
+    deadlines_ms: Sequence[float] = DEADLINES_MS,
+    probabilities: Sequence[float] = PROBABILITIES,
+    seeds: Sequence[int] = (0, 1, 2),
+    num_requests: int = 50,
+    num_replicas: int = 7,
+    window_size: int = 5,
+) -> List[SweepPoint]:
+    """The full two-dimensional sweep, averaged over ``seeds``."""
+    points = []
+    for min_probability in probabilities:
+        for deadline in deadlines_ms:
+            results = [
+                run_two_client_experiment(
+                    deadline_ms=deadline,
+                    min_probability=min_probability,
+                    seed=seed,
+                    num_requests=num_requests,
+                    num_replicas=num_replicas,
+                    window_size=window_size,
+                )
+                for seed in seeds
+            ]
+            points.append(
+                SweepPoint(
+                    deadline_ms=deadline,
+                    min_probability=min_probability,
+                    avg_replicas_selected=average(
+                        [r.avg_replicas_selected for r in results]
+                    ),
+                    failure_probability=average(
+                        [r.failure_probability for r in results]
+                    ),
+                    mean_response_ms=average(
+                        [r.client2.mean_response_ms for r in results]
+                    ),
+                    runs=len(results),
+                )
+            )
+    return points
+
+
+def main() -> None:
+    """Print the Figure 4 and Figure 5 tables."""
+    points = run()
+    fig4_rows = [
+        (p.min_probability, p.deadline_ms, p.avg_replicas_selected)
+        for p in points
+    ]
+    print_table(
+        "Figure 4: average number of replicas selected (client 2)",
+        ["requested Pc", "deadline ms", "avg replicas"],
+        fig4_rows,
+    )
+    fig5_rows = [
+        (
+            p.min_probability,
+            p.deadline_ms,
+            p.failure_probability,
+            p.tolerated_failure_probability,
+        )
+        for p in points
+    ]
+    print_table(
+        "Figure 5: observed probability of timing failures (client 2)",
+        ["requested Pc", "deadline ms", "observed failures", "tolerated"],
+        fig5_rows,
+    )
+
+
+if __name__ == "__main__":
+    main()

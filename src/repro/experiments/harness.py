@@ -1,0 +1,138 @@
+"""Shared experiment machinery.
+
+Every figure/table module builds on :func:`run_two_client_experiment`,
+which reproduces the paper's §6 setup — two closed-loop clients against
+seven replicas, fifty requests each, one-second think time — and on the
+small table-printing helpers used by all ``main()`` entry points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..core.qos import QoSSpec
+from ..core.selection import SelectionPolicy
+from ..workload.client import ClientSummary
+from ..workload.scenarios import Scenario, ScenarioConfig
+
+__all__ = [
+    "TwoClientResult",
+    "run_two_client_experiment",
+    "average",
+    "format_table",
+    "print_table",
+]
+
+
+@dataclass(frozen=True)
+class TwoClientResult:
+    """Outcome of one two-client run (the paper's unit of measurement)."""
+
+    deadline_ms: float
+    min_probability: float
+    client2: ClientSummary
+    client1: ClientSummary
+
+    @property
+    def avg_replicas_selected(self) -> float:
+        """Fig. 4's y-axis: mean redundancy chosen for client 2."""
+        return self.client2.mean_redundancy
+
+    @property
+    def failure_probability(self) -> float:
+        """Fig. 5's y-axis: observed timing-failure probability, client 2."""
+        return self.client2.failure_probability
+
+
+def run_two_client_experiment(
+    deadline_ms: float,
+    min_probability: float,
+    seed: int = 0,
+    num_requests: int = 50,
+    num_replicas: int = 7,
+    window_size: int = 5,
+    policy_factory: Optional[Callable[[], SelectionPolicy]] = None,
+    config: Optional[ScenarioConfig] = None,
+) -> TwoClientResult:
+    """One run of the paper's §6 experiment.
+
+    Client 1 always requests (deadline 200 ms, Pc ≥ 0); client 2 requests
+    ``(deadline_ms, min_probability)``.  Both issue ``num_requests``
+    requests with 1 s think time against ``num_replicas`` replicas whose
+    service delay is Normal(100 ms, 50 ms).
+    """
+    if config is None:
+        config = ScenarioConfig(
+            seed=seed,
+            num_replicas=num_replicas,
+            window_size=window_size,
+        )
+    scenario = Scenario(config)
+    service = config.service
+    client1 = scenario.add_client(
+        "client-1",
+        QoSSpec(service, deadline_ms=200.0, min_probability=0.0),
+        policy=policy_factory() if policy_factory else None,
+        num_requests=num_requests,
+    )
+    client2 = scenario.add_client(
+        "client-2",
+        QoSSpec(service, deadline_ms=deadline_ms, min_probability=min_probability),
+        policy=policy_factory() if policy_factory else None,
+        num_requests=num_requests,
+    )
+    scenario.run_to_completion()
+    return TwoClientResult(
+        deadline_ms=deadline_ms,
+        min_probability=min_probability,
+        client2=client2.summary(),
+        client1=client1.summary(),
+    )
+
+
+def average(values: Sequence[float]) -> float:
+    """Plain mean (raises on empty input, which is always a harness bug)."""
+    if not values:
+        raise ValueError("cannot average zero values")
+    return sum(values) / len(values)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned text table (monospace, paper-style)."""
+    columns = [
+        [str(header)] + [_format_cell(row[i]) for row in rows]
+        for i, header in enumerate(headers)
+    ]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = "  ".join(
+        str(headers[i]).ljust(widths[i]) for i in range(len(headers))
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(
+                _format_cell(row[i]).ljust(widths[i]) for i in range(len(row))
+            )
+        )
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def print_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> None:
+    """Print a titled table to stdout."""
+    print()
+    print(title)
+    print("=" * len(title))
+    print(format_table(headers, rows))

@@ -1,0 +1,120 @@
+"""Ablation A10 — message loss (omission faults).
+
+The paper's fault model is crash + load; its redundancy mechanism,
+however, also masks *omission* faults for free: a lost request or reply
+only matters if it happens on every selected replica's path.  We sweep
+the per-link loss probability and compare the dynamic policy against
+single-fastest (where any loss costs the full response-timeout).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..core.baselines import SingleFastestPolicy
+from ..core.qos import QoSSpec
+from ..core.selection import SelectionPolicy
+from ..workload.scenarios import Scenario, ScenarioConfig
+from .harness import average, print_table
+
+__all__ = ["LossPoint", "run_one", "run", "main"]
+
+LOSS_RATES = (0.0, 0.01, 0.02, 0.05, 0.10)
+
+
+@dataclass(frozen=True)
+class LossPoint:
+    """Averaged metrics for one (policy, loss rate) cell."""
+
+    policy: str
+    loss_probability: float
+    failure_probability: float
+    timeout_fraction: float
+    mean_redundancy: float
+    runs: int
+
+
+def run_one(
+    policy_factory: Optional[Callable[[], SelectionPolicy]],
+    policy_name: str,
+    loss_probability: float,
+    deadline_ms: float = 180.0,
+    min_probability: float = 0.9,
+    seeds: Sequence[int] = (0, 1, 2),
+    num_requests: int = 40,
+) -> LossPoint:
+    """One cell of the loss sweep."""
+    failures, timeouts, redundancy = [], [], []
+    for seed in seeds:
+        scenario = Scenario(
+            ScenarioConfig(
+                seed=seed,
+                loss_probability=loss_probability,
+                response_timeout_factor=3.0,
+            )
+        )
+        client = scenario.add_client(
+            "client-1",
+            QoSSpec(scenario.config.service, deadline_ms, min_probability),
+            policy=policy_factory() if policy_factory else None,
+            num_requests=num_requests,
+        )
+        scenario.run_to_completion()
+        summary = client.summary()
+        failures.append(summary.failure_probability)
+        timeouts.append(summary.timeouts / summary.requests)
+        redundancy.append(summary.mean_redundancy)
+    return LossPoint(
+        policy=policy_name,
+        loss_probability=loss_probability,
+        failure_probability=average(failures),
+        timeout_fraction=average(timeouts),
+        mean_redundancy=average(redundancy),
+        runs=len(seeds),
+    )
+
+
+def run(
+    loss_rates: Sequence[float] = LOSS_RATES,
+    seeds: Sequence[int] = (0, 1, 2),
+    num_requests: int = 40,
+) -> List[LossPoint]:
+    """Loss sweep for the dynamic policy and single-fastest."""
+    points = []
+    for factory, name in (
+        (None, "dynamic (paper)"),
+        (SingleFastestPolicy, "single-fastest"),
+    ):
+        for loss in loss_rates:
+            points.append(
+                run_one(
+                    factory, name, loss, seeds=seeds, num_requests=num_requests
+                )
+            )
+    return points
+
+
+def main() -> None:
+    """Print the omission-fault table."""
+    points = run()
+    rows = [
+        (
+            p.policy,
+            p.loss_probability,
+            p.failure_probability,
+            p.timeout_fraction,
+            p.mean_redundancy,
+        )
+        for p in points
+    ]
+    print_table(
+        "Omission faults: per-link loss sweep "
+        "(deadline 180 ms, Pc = 0.9, budget 0.10)",
+        ["policy", "link loss", "failure prob", "timeout frac", "redundancy"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    main()

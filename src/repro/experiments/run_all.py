@@ -1,0 +1,95 @@
+"""Run every experiment harness and print every table.
+
+``python -m repro.experiments.run_all`` regenerates the complete
+EXPERIMENTS.md data set in one go (several minutes).  Pass ``--quick``
+for a reduced-sweep smoke pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    adaptation_timeline,
+    bursty_network,
+    calibration,
+    colocation,
+    factors,
+    fig3_overhead,
+    fig45_selection,
+    method_classification,
+    min_response,
+    omission_faults,
+    policy_comparison,
+    probing,
+    queue_scaling,
+    retransmission,
+    scalability,
+    window_sensitivity,
+)
+
+#: (label, module) in presentation order.
+ALL_EXPERIMENTS = [
+    ("Figure 3 (overhead)", fig3_overhead),
+    ("Figures 4+5 (selection & failures)", fig45_selection),
+    ("Minimum response time", min_response),
+    ("§5.1 factors", factors),
+    ("A1/A4 policy comparison", policy_comparison),
+    ("A2 crash tolerance", None),  # imported lazily: heavy
+    ("A3 window sensitivity", window_sensitivity),
+    ("A5 scalability", scalability),
+    ("A6 active probing", probing),
+    ("A7 method classification", method_classification),
+    ("A8 bursty network", bursty_network),
+    ("A9 model calibration", calibration),
+    ("A10 omission faults", omission_faults),
+    ("A11 queue scaling", queue_scaling),
+    ("A12 co-location interference", colocation),
+    ("A13 redundancy vs retransmission", retransmission),
+    ("A14 adaptation timeline", adaptation_timeline),
+]
+
+
+def main(argv=None) -> int:
+    """Run all experiment mains, timing each."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate every table of EXPERIMENTS.md"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced sweeps (for smoke testing the harnesses)",
+    )
+    args = parser.parse_args(argv)
+
+    from . import crash_tolerance
+
+    experiments = [
+        (label, module if module is not None else crash_tolerance)
+        for label, module in ALL_EXPERIMENTS
+    ]
+    started_all = time.perf_counter()
+    for label, module in experiments:
+        print(f"\n### {label} — python -m {module.__name__}")
+        started = time.perf_counter()
+        if args.quick and hasattr(module, "run"):
+            # Harnesses expose run() with sweep-size defaults; quick mode
+            # just proves each one executes end to end.
+            try:
+                module.run(seeds=(0,))  # type: ignore[call-arg]
+            except TypeError:
+                module.run()  # run() without a seeds parameter
+        else:
+            module.main()
+        print(f"[{label}: {time.perf_counter() - started:.1f}s]")
+    print(
+        f"\nAll experiments done in "
+        f"{time.perf_counter() - started_all:.1f}s."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

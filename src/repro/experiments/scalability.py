@@ -1,0 +1,141 @@
+"""Ablation A5 — scalability with the number of concurrent clients (§1/§4).
+
+The paper motivates adaptive redundancy with the fault-tolerance/
+scalability trade-off: all-replicas service gives every client maximal
+protection but loads every replica with every request; single-replica
+service scales but cannot hedge crashes or slow servers.  We sweep the
+number of closed-loop clients and report, per policy, the failure
+probability and the mean per-replica load (requests serviced per replica
+per issued client request).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..core.baselines import AllReplicasPolicy, SingleFastestPolicy
+from ..core.qos import QoSSpec
+from ..core.selection import SelectionPolicy
+from ..workload.scenarios import Scenario, ScenarioConfig
+from .harness import average, print_table
+
+__all__ = ["ScalabilityPoint", "run_client_count", "run", "main"]
+
+
+@dataclass(frozen=True)
+class ScalabilityPoint:
+    """Averaged metrics for one (policy, client count) cell."""
+
+    policy: str
+    num_clients: int
+    failure_probability: float
+    mean_redundancy: float
+    mean_response_ms: float
+    server_load_amplification: float
+    runs: int
+
+
+def run_client_count(
+    policy_factory: Optional[Callable[[], SelectionPolicy]],
+    policy_name: str,
+    num_clients: int,
+    deadline_ms: float = 160.0,
+    min_probability: float = 0.9,
+    seeds: Sequence[int] = (0, 1),
+    num_requests: int = 30,
+    think_mean_ms: float = 1000.0,
+) -> ScalabilityPoint:
+    """One cell of the scalability sweep."""
+    from ..sim.random import Exponential
+
+    failures, redundancy, response, amplification = [], [], [], []
+    for seed in seeds:
+        scenario = Scenario(ScenarioConfig(seed=seed))
+        clients = [
+            scenario.add_client(
+                f"client-{i + 1}",
+                QoSSpec(
+                    scenario.config.service,
+                    deadline_ms=deadline_ms,
+                    min_probability=min_probability,
+                ),
+                policy=policy_factory() if policy_factory else None,
+                num_requests=num_requests,
+                think_time=Exponential(think_mean_ms),
+            )
+            for i in range(num_clients)
+        ]
+        scenario.run_to_completion()
+        summaries = [c.summary() for c in clients]
+        total_requests = sum(s.requests for s in summaries)
+        total_failures = sum(s.timing_failures for s in summaries)
+        served = sum(
+            scenario.manager.handler_on(host).app.requests_served
+            for host in scenario.config.replica_hosts()
+        )
+        failures.append(total_failures / total_requests)
+        redundancy.append(
+            sum(s.mean_redundancy * s.requests for s in summaries) / total_requests
+        )
+        response.append(
+            sum(s.mean_response_ms * s.requests for s in summaries) / total_requests
+        )
+        amplification.append(served / total_requests)
+    return ScalabilityPoint(
+        policy=policy_name,
+        num_clients=num_clients,
+        failure_probability=average(failures),
+        mean_redundancy=average(redundancy),
+        mean_response_ms=average(response),
+        server_load_amplification=average(amplification),
+        runs=len(seeds),
+    )
+
+
+def run(
+    client_counts: Sequence[int] = (1, 2, 4, 8, 16),
+    seeds: Sequence[int] = (0, 1),
+    num_requests: int = 30,
+) -> List[ScalabilityPoint]:
+    """Sweep client counts for dynamic, all-replicas and single-fastest."""
+    policies: List = [
+        (None, "dynamic (paper)"),
+        (AllReplicasPolicy, "all-replicas"),
+        (SingleFastestPolicy, "single-fastest"),
+    ]
+    points = []
+    for factory, name in policies:
+        for count in client_counts:
+            points.append(
+                run_client_count(
+                    factory, name, count, seeds=seeds, num_requests=num_requests
+                )
+            )
+    return points
+
+
+def main() -> None:
+    """Print the scalability table."""
+    points = run()
+    rows = [
+        (
+            p.policy,
+            p.num_clients,
+            p.failure_probability,
+            p.mean_redundancy,
+            p.mean_response_ms,
+            p.server_load_amplification,
+        )
+        for p in points
+    ]
+    print_table(
+        "Scalability with concurrent clients (deadline 160 ms, Pc = 0.9)",
+        ["policy", "clients", "failure prob", "mean redundancy",
+         "mean response ms", "replica msgs/request"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    main()

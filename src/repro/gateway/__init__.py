@@ -1,0 +1,25 @@
+"""AQuA gateway layer: per-host dispatch plus protocol handlers."""
+
+from .gateway import Gateway, GatewayError, ProtocolHandler
+from .handlers import (
+    ActiveReplicationClientHandler,
+    PassiveReplicationClientHandler,
+    PerformanceUpdate,
+    PrimaryBackupPolicy,
+    ReplyOutcome,
+    TimingFaultClientHandler,
+    TimingFaultServerHandler,
+)
+
+__all__ = [
+    "Gateway",
+    "GatewayError",
+    "ProtocolHandler",
+    "TimingFaultClientHandler",
+    "TimingFaultServerHandler",
+    "ActiveReplicationClientHandler",
+    "PassiveReplicationClientHandler",
+    "PrimaryBackupPolicy",
+    "PerformanceUpdate",
+    "ReplyOutcome",
+]

@@ -1,0 +1,29 @@
+"""Active replication handler (prior AQuA work, [18]/[16] in the paper).
+
+Every request is sent to *every* live replica and the first reply wins —
+maximum crash tolerance, no selectivity.  Implemented as the timing fault
+machinery pinned to :class:`~repro.core.baselines.AllReplicasPolicy`; the
+request/reply bookkeeping (first-reply-wins, repository updates) is
+identical, which is faithful to AQuA where the handlers share the gateway
+infrastructure.
+"""
+
+from __future__ import annotations
+
+from ...core.baselines import AllReplicasPolicy
+from .timing_fault import TimingFaultClientHandler
+
+__all__ = ["ActiveReplicationClientHandler"]
+
+
+class ActiveReplicationClientHandler(TimingFaultClientHandler):
+    """Client handler that broadcasts each request to the full view."""
+
+    def __init__(self, *args, **kwargs):
+        if "policy" in kwargs and kwargs["policy"] is not None:
+            raise ValueError(
+                "ActiveReplicationClientHandler fixes its policy; "
+                "do not pass one"
+            )
+        kwargs["policy"] = AllReplicasPolicy()
+        super().__init__(*args, **kwargs)

@@ -1,0 +1,58 @@
+"""Passive replication handler (prior AQuA work, Rubel [17] in the paper).
+
+A single *primary* services all requests; the backups stand by and one of
+them is promoted when the primary crashes.  For the stateless services the
+timing-fault paper targets, promotion needs no state transfer — the next
+member of the view simply becomes primary.
+
+Implemented as a selection policy (send to the current primary only) so
+the comparison experiments can run it through the same client handler and
+measure the availability gap the paper motivates: while the primary is
+down and not yet evicted from the view, every request is lost until the
+membership layer installs a new view.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...core.selection import SelectionContext, SelectionDecision, SelectionPolicy
+from .timing_fault import TimingFaultClientHandler
+
+__all__ = ["PrimaryBackupPolicy", "PassiveReplicationClientHandler"]
+
+
+class PrimaryBackupPolicy(SelectionPolicy):
+    """Route every request to the view's current primary.
+
+    The primary is the first member (in name order) of the live replica
+    list, so all clients converge on the same primary without
+    coordination, and promotion on eviction is automatic.
+    """
+
+    name = "primary-backup"
+
+    def decide(self, ctx: SelectionContext) -> SelectionDecision:
+        if not ctx.replicas:
+            return SelectionDecision(selected=())
+        primary = min(ctx.replicas)
+        return SelectionDecision(selected=(primary,), meta={"primary": primary})
+
+
+class PassiveReplicationClientHandler(TimingFaultClientHandler):
+    """Client handler using primary/backup routing."""
+
+    def __init__(self, *args, **kwargs):
+        if "policy" in kwargs and kwargs["policy"] is not None:
+            raise ValueError(
+                "PassiveReplicationClientHandler fixes its policy; "
+                "do not pass one"
+            )
+        kwargs["policy"] = PrimaryBackupPolicy()
+        super().__init__(*args, **kwargs)
+
+    @property
+    def primary(self) -> Optional[str]:
+        """The replica currently acting as primary (None when none live)."""
+        replicas = self.repository.replicas()
+        return min(replicas) if replicas else None

@@ -1,0 +1,187 @@
+"""Retransmission-based client handler (the related-work strawman).
+
+The paper's §1 observes that prior single-replica selection schemes leave
+failure handling to the client: "it is the responsibility of the client
+to retransmit its request upon failure to receive a response.  Such a
+simple retransmission strategy, however, may not be suitable for clients
+with specific time constraints."
+
+:class:`RetransmittingClientHandler` implements that strategy faithfully
+so the claim can be measured: each request goes to *one* replica (the
+individually best); if no reply arrives within ``retry_timeout_ms`` the
+request is retransmitted to the next-best replica not yet tried, up to
+``max_retries`` times.  Every retransmission burns a chunk of the
+deadline — the structural disadvantage the paper's concurrent redundancy
+avoids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...core.selection import SelectionContext, SelectionDecision, SelectionPolicy
+from ...net.message import Message
+from ...sim.events import Event
+from .timing_fault import MSG_REQUEST, TimingFaultClientHandler
+
+__all__ = ["RetransmittingClientHandler", "BestSinglePolicy"]
+
+
+class BestSinglePolicy(SelectionPolicy):
+    """Rank replicas by F(t) and expose the full ranking to the handler."""
+
+    name = "best-single"
+
+    def decide(self, ctx: SelectionContext) -> SelectionDecision:
+        def key(replica: str):
+            probability = ctx.estimator.probability_by(
+                replica, ctx.qos.deadline_ms
+            )
+            return (-(probability if probability is not None else -1.0), replica)
+
+        ranking = sorted(ctx.replicas, key=key)
+        return SelectionDecision(
+            selected=tuple(ranking[:1]), meta={"ranking": ranking}
+        )
+
+
+class RetransmittingClientHandler(TimingFaultClientHandler):
+    """Single-replica routing with timeout-driven retransmission.
+
+    Parameters (beyond the base handler's)
+    --------------------------------------
+    retry_timeout_ms:
+        How long to wait for a reply before retransmitting.  ``None``
+        defaults to half the QoS deadline — a common rule of thumb.
+    max_retries:
+        Retransmissions per request after the initial send.
+    """
+
+    def __init__(
+        self,
+        *args,
+        retry_timeout_ms: Optional[float] = None,
+        max_retries: int = 2,
+        **kwargs,
+    ):
+        if "policy" in kwargs and kwargs["policy"] is not None:
+            raise ValueError(
+                "RetransmittingClientHandler fixes its policy; do not pass one"
+            )
+        if retry_timeout_ms is not None and retry_timeout_ms <= 0:
+            raise ValueError(
+                f"retry_timeout_ms must be > 0, got {retry_timeout_ms}"
+            )
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        kwargs["policy"] = BestSinglePolicy()
+        super().__init__(*args, **kwargs)
+        self.retry_timeout_ms = retry_timeout_ms
+        self.max_retries = int(max_retries)
+        self.retransmissions = 0
+        # msg_id of a retransmitted copy -> (original msg_id, copy sent at).
+        self._aliases: Dict[int, Tuple[int, float]] = {}
+
+    def _effective_retry_timeout(self) -> float:
+        if self.retry_timeout_ms is not None:
+            return self.retry_timeout_ms
+        return self.qos.deadline_ms / 2.0
+
+    # -- request path ----------------------------------------------------------
+    def _dispatch(self, request, call, t0: float, outcome_event: Event) -> None:
+        super()._dispatch(request, call, t0, outcome_event)
+        # Find the pending record just created and arm the retry chain.
+        if not self._pending:
+            return
+        msg_id = max(self._pending)
+        pending = self._pending[msg_id]
+        ranking = list(pending.decision.meta.get("ranking", []))
+        tried = list(pending.decision.selected)
+        self._arm_retry(msg_id, call, ranking, tried, attempt=1)
+
+    def _arm_retry(
+        self,
+        msg_id: int,
+        call,
+        ranking: List[str],
+        tried: List[str],
+        attempt: int,
+    ) -> None:
+        if attempt > self.max_retries:
+            return
+        self.sim.call_in(
+            self._effective_retry_timeout(),
+            lambda: self._maybe_retransmit(msg_id, call, ranking, tried, attempt),
+        )
+
+    def _maybe_retransmit(
+        self,
+        msg_id: int,
+        call,
+        ranking: List[str],
+        tried: List[str],
+        attempt: int,
+    ) -> None:
+        pending = self._pending.get(msg_id)
+        if pending is None or pending.completed:
+            return
+        live = set(self._members)
+        candidates = [r for r in ranking if r in live and r not in tried]
+        if not candidates:
+            candidates = [r for r in ranking if r in live]
+        if not candidates:
+            return
+        target = candidates[0]
+        tried.append(target)
+        copy = Message(
+            sender=self.host,
+            destination=target,
+            kind=MSG_REQUEST,
+            payload={"service": self.service, "call": call, "client": self.host},
+            size_bytes=call.size_bytes,
+        )
+        self._aliases[copy.msg_id] = (msg_id, self.sim.now)
+        self.retransmissions += 1
+        self.transport.send(copy)
+        self.tracer.emit(
+            self.sim.now, f"client.{self.host}", "client.retransmit",
+            msg_id=msg_id, attempt=attempt, replica=target,
+        )
+        self._arm_retry(msg_id, call, ranking, tried, attempt + 1)
+
+    # -- reply path -------------------------------------------------------------
+    def handle_message(self, message: Message) -> None:
+        # Replies to retransmitted copies correlate to the copy's msg_id;
+        # fold them back onto the original request.  The gateway delay of
+        # such a reply must be measured from the *copy's* transmission
+        # time, so t1 is swapped for the duration of the fold.
+        alias = self._aliases.get(message.correlation_id)
+        if alias is None:
+            super().handle_message(message)
+            return
+        original_id, copy_sent_at = alias
+        folded = Message(
+            sender=message.sender,
+            destination=message.destination,
+            kind=message.kind,
+            payload=message.payload,
+            size_bytes=message.size_bytes,
+            correlation_id=original_id,
+            headers=message.headers,
+        )
+        pending = self._pending.get(original_id)
+        if pending is None:
+            super().handle_message(folded)
+            return
+        saved_t1 = pending.t1
+        pending.t1 = copy_sent_at
+        try:
+            super().handle_message(folded)
+        finally:
+            pending.t1 = saved_t1
+
+    def __repr__(self) -> str:
+        return (
+            f"<RetransmittingClientHandler {self.host!r} "
+            f"retransmissions={self.retransmissions}>"
+        )

@@ -1,0 +1,871 @@
+"""The timing fault handler (paper §5.4) — client and server sides.
+
+Client side (:class:`TimingFaultClientHandler`): intercepts a request at
+``t0``, runs the selection policy, multicasts the request to the selected
+replicas at ``t1``, delivers the *first* reply to the client, mines every
+reply (including redundant ones) for performance data, detects timing
+failures (``tr = t4 − t0 > t``), and notifies the client via a callback
+when the observed timely frequency drops below the QoS minimum.
+
+Server side (:class:`TimingFaultServerHandler`): enqueues requests at
+``t2``, dequeues at ``t3`` (FIFO), services them (``ts``), replies with the
+performance data ``(ts, tq = t3 − t2, queue length)`` embedded, and pushes
+the same data to all subscribed clients on every processed request.
+
+All interval end-points are measured on a single simulated host, so no
+clock synchronization is assumed — exactly as in the paper.
+
+Paper §8 extensions implemented here, all off by default:
+
+* **Request classification** (``classifier=``): performance data is kept
+  per request class — e.g. per method ("classify performance data based
+  on the method interfaces") or per argument shape ("distinguish between
+  requests made to the same server based on the arguments passed").
+* **Active probing** (``probe_staleness_ms=``): when a replica's record
+  goes stale, the handler pings its gateway out of band to refresh the
+  gateway delay and queue length ("use active probes [5] when a replica's
+  performance information is obsolete").
+* **Gateway-delay windows** (``gateway_window_size=``): ``T_i`` becomes a
+  sliding-window distribution instead of a point value, for LANs whose
+  traffic does fluctuate (§5.3.1's "simple to extend" remark).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...core.estimator import ResponseTimeEstimator
+from ...core.qos import QoSSpec, QoSViolationCallback, TimingFailureStats
+from ...core.repository import InformationRepository
+from ...core.selection import (
+    DynamicSelectionPolicy,
+    SelectionContext,
+    SelectionDecision,
+    SelectionPolicy,
+)
+from ...group.ensemble import GroupCommunication
+from ...group.membership import GroupView, MembershipError
+from ...metrics.collector import MetricsCollector
+from ...net.message import Message
+from ...orb.iiop import MarshalledReply, MarshallingModel
+from ...orb.object import MethodRequest, ServiceInterface
+from ...orb.orb import RequestInterceptor
+from ...replica.server import ReplicaApplication
+from ...sim.events import Event
+from ...sim.kernel import Simulator
+from ...sim.trace import NullTracer, Tracer
+from ..gateway import ProtocolHandler
+
+__all__ = [
+    "MSG_REQUEST",
+    "MSG_REPLY",
+    "MSG_PERF",
+    "MSG_SUBSCRIBE",
+    "MSG_PROBE",
+    "MSG_PROBE_REPLY",
+    "DEFAULT_CLASS",
+    "PerformanceUpdate",
+    "ReplyOutcome",
+    "RequestClassifier",
+    "method_classifier",
+    "TimingFaultServerHandler",
+    "TimingFaultClientHandler",
+]
+
+MSG_REQUEST = "tf-request"
+MSG_REPLY = "tf-reply"
+MSG_PERF = "tf-perf"
+MSG_SUBSCRIBE = "tf-subscribe"
+MSG_PROBE = "tf-probe"
+MSG_PROBE_REPLY = "tf-probe-reply"
+
+#: Class key used when no classifier is configured (the paper's base
+#: design: one model per service).
+DEFAULT_CLASS = ""
+
+# A classifier maps a request to the performance class whose history
+# should model it.
+RequestClassifier = Callable[[MethodRequest], str]
+
+
+def method_classifier(request: MethodRequest) -> str:
+    """Classify by method name — the paper's multi-interface extension."""
+    return request.method
+
+
+@dataclass(frozen=True)
+class PerformanceUpdate:
+    """The measurements a replica publishes after servicing a request.
+
+    ``request`` identifies what was serviced so that classifying clients
+    can file the measurement under the right performance class.
+    """
+
+    replica: str
+    service: str
+    service_time_ms: float  # ts
+    queue_delay_ms: float  # tq
+    queue_length: int
+    request: Optional[MethodRequest] = None
+
+
+@dataclass(frozen=True)
+class ReplyOutcome:
+    """What the client's invocation event fires with.
+
+    ``timed_out`` marks requests for which no reply arrived before the
+    handler's response timeout (e.g. every selected replica crashed);
+    these count as timing failures.
+    """
+
+    value: Any
+    response_time_ms: float
+    timely: bool
+    timed_out: bool
+    replica: Optional[str]
+    redundancy: int
+    request_id: int
+    decision_meta: Dict[str, object] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# Server side
+# ---------------------------------------------------------------------------
+
+
+class TimingFaultServerHandler(ProtocolHandler):
+    """Server-gateway half of the timing fault handler.
+
+    Owns the replica's FIFO request queue and the stage timestamps
+    ``t2``/``t3``/``ts`` (paper §5.4.1).  Probes (the §8 extension) are
+    answered directly by the gateway, without entering the FIFO queue —
+    they measure the network and read the queue depth, not the servant.
+    """
+
+    message_kinds = (MSG_REQUEST, MSG_SUBSCRIBE, MSG_PROBE)
+
+    def __init__(
+        self,
+        sim: Simulator,
+        app: ReplicaApplication,
+        transport,
+        marshalling: Optional[MarshallingModel] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsCollector] = None,
+    ):
+        self.sim = sim
+        self.app = app
+        self.transport = transport
+        self.marshalling = marshalling or MarshallingModel()
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.metrics = metrics or MetricsCollector(keep_samples=False)
+        self.service = app.service
+        self.host = app.host
+        self._queue: Deque[Tuple[Message, float]] = deque()
+        self._subscribers: set = set()
+        self._wakeup: Optional[Event] = None
+        self._busy = False
+        self.crashed = False
+        self.probes_answered = 0
+        self._process = sim.spawn(self._run(), name=f"server.{self.host}")
+
+    # -- inspection ------------------------------------------------------------
+    @property
+    def queue_length(self) -> int:
+        """Outstanding requests: waiting plus the one in service."""
+        return len(self._queue) + (1 if self._busy else 0)
+
+    @property
+    def subscribers(self) -> List[str]:
+        """Clients subscribed to performance updates (sorted)."""
+        return sorted(self._subscribers)
+
+    # -- message handling --------------------------------------------------------
+    def handle_message(self, message: Message) -> None:
+        if self.crashed:
+            return
+        if message.kind == MSG_SUBSCRIBE:
+            self._subscribers.add(message.payload["client"])
+            return
+        if message.kind == MSG_PROBE:
+            self._answer_probe(message)
+            return
+        # MSG_REQUEST: record the enqueue time t2 and wake the consumer.
+        t2 = self.sim.now
+        self._queue.append((message, t2))
+        self.tracer.emit(
+            self.sim.now, f"server.{self.host}", "server.enqueued",
+            msg_id=message.msg_id, queue=len(self._queue),
+        )
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed(None)
+
+    def _answer_probe(self, message: Message) -> None:
+        """Reply to a gateway-level probe, bypassing the FIFO queue."""
+        self.probes_answered += 1
+        self.transport.send(
+            Message(
+                sender=self.host,
+                destination=message.sender,
+                kind=MSG_PROBE_REPLY,
+                payload={
+                    "service": self.service,
+                    "replica": self.host,
+                    "queue_length": self.queue_length,
+                },
+                size_bytes=64,
+                correlation_id=message.msg_id,
+            )
+        )
+
+    # -- the FIFO service loop ---------------------------------------------------
+    def _run(self):
+        while True:
+            while not self._queue:
+                self._wakeup = self.sim.event()
+                yield self._wakeup
+            message, t2 = self._queue.popleft()
+            self._busy = True
+            t3 = self.sim.now
+            queue_delay = t3 - t2  # tq
+
+            call = message.payload["call"]
+            request, demarshal_cost = self.marshalling.demarshal_request(call)
+            yield self.sim.timeout(demarshal_cost)
+
+            duration = self.app.service_duration(request.method, self.sim.now)
+            self.app.begin_service()
+            try:
+                yield self.sim.timeout(duration)
+                value = self.app.execute(request)
+            finally:
+                self.app.end_service()
+            service_time = duration  # ts: Stage 4 only
+
+            signature = self.app.servant.interface.method(request.method)
+            reply, marshal_cost = self.marshalling.marshal_reply(value, signature)
+            yield self.sim.timeout(marshal_cost)
+            self._busy = False
+
+            if self.crashed:
+                return  # crashed mid-service: the reply is lost
+            self.tracer.emit(
+                self.sim.now, f"server.{self.host}", "server.serviced",
+                msg_id=message.msg_id, tq=queue_delay, ts=service_time,
+                demarshal=demarshal_cost, marshal=marshal_cost,
+            )
+            self._send_reply(message, request, reply, service_time, queue_delay)
+
+    def _send_reply(
+        self,
+        request_msg: Message,
+        request: MethodRequest,
+        reply: MarshalledReply,
+        service_time: float,
+        queue_delay: float,
+    ) -> None:
+        perf = PerformanceUpdate(
+            replica=self.host,
+            service=self.service,
+            service_time_ms=service_time,
+            queue_delay_ms=queue_delay,
+            queue_length=self.queue_length,
+            request=request,
+        )
+        reply_msg = Message(
+            sender=self.host,
+            destination=request_msg.sender,
+            kind=MSG_REPLY,
+            payload={
+                "service": self.service,
+                "reply": reply,
+                "perf": perf,
+                "replica": self.host,
+            },
+            size_bytes=reply.size_bytes,
+            correlation_id=request_msg.msg_id,
+        )
+        self.transport.send(reply_msg)
+        self.metrics.increment(
+            "server.replies", labels={"replica": self.host}
+        )
+        # Push the fresh performance data to every subscriber except the
+        # requester (whose copy rides inside the reply itself).
+        for subscriber in self._subscribers:
+            if subscriber == request_msg.sender:
+                continue
+            self.transport.send(
+                Message(
+                    sender=self.host,
+                    destination=subscriber,
+                    kind=MSG_PERF,
+                    payload={
+                        "service": self.service,
+                        "replica": self.host,
+                        "perf": perf,
+                    },
+                    size_bytes=96,
+                )
+            )
+
+    # -- fault lifecycle ---------------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop: drop queued work and halt the service loop."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self._queue.clear()
+        self._busy = False
+        if self._process.alive:
+            self._process.interrupt("crash")
+
+    def restart(self) -> None:
+        """Come back after a crash with an empty queue (new incarnation)."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self._queue.clear()
+        self._busy = False
+        self._wakeup = None
+        self._process = self.sim.spawn(self._run(), name=f"server.{self.host}")
+
+    def __repr__(self) -> str:
+        return (
+            f"<TimingFaultServerHandler {self.host!r} queue={self.queue_length} "
+            f"crashed={self.crashed}>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Client side
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _PendingRequest:
+    """Client-side bookkeeping for one outstanding request."""
+
+    request: MethodRequest
+    t0: float
+    t1: float
+    event: Event
+    decision: SelectionDecision
+    completed: bool = False
+    expired: bool = False
+
+
+class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
+    """Client-gateway half of the timing fault handler (paper §5.4).
+
+    Parameters
+    ----------
+    sim, host, transport, group_comm:
+        Simulation substrate and this client's host.
+    interface:
+        Interface of the replicated service (for marshalling sizes).
+    qos:
+        The client's QoS specification.
+    policy:
+        Replica-selection policy; defaults to the paper's
+        :class:`DynamicSelectionPolicy` with single-crash tolerance and
+        overhead compensation.
+    window_size:
+        The repository's sliding-window size ``l`` (paper default 5).
+    bin_width_ms:
+        Quantization grid of the empirical pmfs.
+    selection_charge_ms:
+        Simulated CPU time charged between request interception and
+        transmission (covers marshalling + selection).  Also used as the
+        ``δ`` for deadline compensation, keeping runs deterministic.
+    response_timeout_factor:
+        A request with no reply after ``factor × deadline`` completes as a
+        timed-out failure (the paper's clients wait forever; a closed-loop
+        simulation must not).
+    violation_callback:
+        Invoked as ``callback(service, observed_probability, spec)`` when
+        the observed timely frequency first drops below the QoS minimum.
+    rng:
+        Random generator handed to stochastic policies.
+    classifier:
+        Optional request classifier (§8 extension): performance history
+        and models are kept per class key.  ``None`` keeps the paper's
+        one-model-per-service design.
+    gateway_window_size:
+        When set, keep a sliding window of gateway delays per replica and
+        model ``T_i`` as a distribution (§5.3.1 extension).
+    probe_staleness_ms:
+        When set, replicas whose records are older than this are probed
+        out of band every ``probe_interval_ms`` (§8 extension).
+    """
+
+    message_kinds = (MSG_REPLY, MSG_PERF, MSG_PROBE_REPLY)
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: str,
+        transport,
+        group_comm: GroupCommunication,
+        interface: ServiceInterface,
+        qos: QoSSpec,
+        policy: Optional[SelectionPolicy] = None,
+        window_size: int = 5,
+        bin_width_ms: float = 1.0,
+        marshalling: Optional[MarshallingModel] = None,
+        selection_charge_ms: float = 0.3,
+        response_timeout_factor: float = 10.0,
+        violation_callback: Optional[QoSViolationCallback] = None,
+        min_violation_samples: int = 10,
+        rng: Optional[np.random.Generator] = None,
+        distance: Optional[Callable[[str], float]] = None,
+        classifier: Optional[RequestClassifier] = None,
+        gateway_window_size: Optional[int] = None,
+        probe_staleness_ms: Optional[float] = None,
+        probe_interval_ms: float = 200.0,
+        estimator_factory: Optional[
+            Callable[[InformationRepository], ResponseTimeEstimator]
+        ] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsCollector] = None,
+    ):
+        if qos.service != interface.name:
+            raise ValueError(
+                f"QoS names service {qos.service!r} but the interface is "
+                f"{interface.name!r}"
+            )
+        if selection_charge_ms < 0:
+            raise ValueError(
+                f"selection_charge_ms must be >= 0, got {selection_charge_ms}"
+            )
+        if response_timeout_factor <= 1:
+            raise ValueError(
+                "response_timeout_factor must exceed 1 (the deadline itself), "
+                f"got {response_timeout_factor}"
+            )
+        if probe_staleness_ms is not None and probe_staleness_ms <= 0:
+            raise ValueError(
+                f"probe_staleness_ms must be > 0, got {probe_staleness_ms}"
+            )
+        if probe_interval_ms <= 0:
+            raise ValueError(
+                f"probe_interval_ms must be > 0, got {probe_interval_ms}"
+            )
+        self.sim = sim
+        self.host = host
+        self.transport = transport
+        self.group_comm = group_comm
+        self.interface = interface
+        self.service = interface.name
+        self.qos = qos
+        self.marshalling = marshalling or MarshallingModel()
+        self.selection_charge_ms = float(selection_charge_ms)
+        self.response_timeout_factor = float(response_timeout_factor)
+        self.violation_callback = violation_callback
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.metrics = metrics or MetricsCollector(keep_samples=False)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.distance = distance
+        self.classifier = classifier
+        self.window_size = int(window_size)
+        self.bin_width_ms = float(bin_width_ms)
+        self.gateway_window_size = gateway_window_size
+        self.probe_staleness_ms = probe_staleness_ms
+        self.probe_interval_ms = float(probe_interval_ms)
+        # Pluggable estimator construction (e.g. QueueScaledEstimator).
+        self.estimator_factory = estimator_factory
+        self.probes_sent = 0
+
+        # Performance state is kept per request class.  The default class
+        # always exists; `self.repository` / `self.estimator` alias it for
+        # the paper's base design (and backward compatibility).
+        self._repositories: Dict[str, InformationRepository] = {}
+        self._estimators: Dict[str, ResponseTimeEstimator] = {}
+        self._members: List[str] = []
+        self.repository = self._repo_for(DEFAULT_CLASS)
+        self.estimator = self._estimators[DEFAULT_CLASS]
+
+        self.policy = policy or DynamicSelectionPolicy(
+            crash_tolerance=1,
+            compensate_overhead=True,
+            fixed_overhead_ms=self.selection_charge_ms,
+        )
+        self.stats = TimingFailureStats(min_samples=min_violation_samples)
+        self._pending: Dict[int, _PendingRequest] = {}
+        self._probes_in_flight: Dict[int, float] = {}  # msg_id -> send time
+        self._violation_reported = False
+
+        # Track the service group: seed the repositories from the current
+        # view, follow future views, and subscribe to performance pushes.
+        self._mgroup = group_comm.multicast_group(self.service)
+        group_comm.on_view_change(self.service, host, self._on_view_change)
+        self._members = self._mgroup.members()
+        self._sync_repositories()
+        self._send_subscription()
+        if self.probe_staleness_ms is not None:
+            self.sim.call_in(
+                self.probe_interval_ms, self._probe_tick, daemon=True
+            )
+
+    # -- per-class state -------------------------------------------------------
+    def _repo_for(self, class_key: str) -> InformationRepository:
+        repo = self._repositories.get(class_key)
+        if repo is None:
+            repo = InformationRepository(
+                window_size=self.window_size,
+                gateway_window_size=self.gateway_window_size,
+            )
+            repo.sync_members(self._members)
+            self._repositories[class_key] = repo
+            if self.estimator_factory is not None:
+                estimator = self.estimator_factory(repo)
+            else:
+                estimator = ResponseTimeEstimator(
+                    repo, bin_width_ms=self.bin_width_ms
+                )
+            self._estimators[class_key] = estimator
+        return repo
+
+    def _estimator_for(self, class_key: str) -> ResponseTimeEstimator:
+        self._repo_for(class_key)
+        return self._estimators[class_key]
+
+    def _classify(self, request: MethodRequest) -> str:
+        if self.classifier is None:
+            return DEFAULT_CLASS
+        return self.classifier(request)
+
+    def request_classes(self) -> List[str]:
+        """Class keys with performance state (always includes default)."""
+        return sorted(self._repositories)
+
+    def _sync_repositories(self) -> None:
+        for repo in self._repositories.values():
+            repo.sync_members(self._members)
+
+    # -- membership tracking -----------------------------------------------------
+    def _on_view_change(self, view: GroupView) -> None:
+        joined = set(view.members) - set(self._members)
+        self._members = list(view.members)
+        self._sync_repositories()
+        self.tracer.emit(
+            self.sim.now, f"client.{self.host}", "client.view",
+            view=view.view_id, members=list(view.members),
+        )
+        if joined:
+            # New replicas need this client's subscription too.
+            self._send_subscription()
+
+    def _send_subscription(self) -> None:
+        members = self._mgroup.members()
+        if not members:
+            return
+        self._mgroup.send(
+            Message(
+                sender=self.host,
+                destination="",
+                kind=MSG_SUBSCRIBE,
+                payload={"service": self.service, "client": self.host},
+                size_bytes=64,
+            )
+        )
+
+    # -- QoS -----------------------------------------------------------------
+    def renegotiate_qos(self, new_spec: QoSSpec) -> None:
+        """Adopt a new QoS specification at runtime (paper §4)."""
+        if new_spec.service != self.service:
+            raise ValueError(
+                f"new spec names {new_spec.service!r}, handler serves "
+                f"{self.service!r}"
+            )
+        self.qos = new_spec
+        self.stats.reset()
+        self._violation_reported = False
+
+    # -- request path (RequestInterceptor) ------------------------------------------
+    def submit(self, request: MethodRequest) -> Event:
+        """Intercept a client invocation; returns its outcome event."""
+        t0 = self.sim.now
+        outcome_event = self.sim.event()
+        signature = self.interface.method(request.method)
+        call, marshal_cost = self.marshalling.marshal_request(request, signature)
+        # Marshalling plus selection are CPU work on the client host,
+        # charged before the request hits the wire (paper §5.3.3).
+        self.sim.call_in(
+            marshal_cost + self.selection_charge_ms,
+            lambda: self._dispatch(request, call, t0, outcome_event),
+        )
+        return outcome_event
+
+    def _dispatch(self, request, call, t0: float, outcome_event: Event) -> None:
+        decision = self._decide(list(self._members), request)
+        message = Message(
+            sender=self.host,
+            destination="",
+            kind=MSG_REQUEST,
+            payload={"service": self.service, "call": call, "client": self.host},
+            size_bytes=call.size_bytes,
+        )
+        pending = _PendingRequest(
+            request=request,
+            t0=t0,
+            t1=self.sim.now,
+            event=outcome_event,
+            decision=decision,
+        )
+        self._pending[message.msg_id] = pending
+
+        sent_to: Tuple[str, ...] = ()
+        if decision.selected:
+            try:
+                sent_to = tuple(self._mgroup.send(message, decision.selected))
+            except MembershipError:
+                sent_to = ()
+        if sent_to:
+            pending.decision = SelectionDecision(
+                selected=sent_to, meta=decision.meta
+            )
+            self.metrics.observe(
+                "tf.redundancy", len(sent_to),
+                labels={"client": self.host, "service": self.service},
+            )
+        self.tracer.emit(
+            self.sim.now, f"client.{self.host}", "client.sent",
+            msg_id=message.msg_id, selected=list(sent_to), t0=t0,
+            bootstrap=decision.meta.get("bootstrap", False),
+        )
+        self.metrics.increment(
+            "tf.requests", labels={"client": self.host, "service": self.service}
+        )
+        # Arm the response timeout; it also keeps the kernel's run loop
+        # alive while a reply is in flight.
+        timeout_ms = self.qos.deadline_ms * self.response_timeout_factor
+        self.sim.call_in(
+            timeout_ms, lambda: self._expire(message.msg_id)
+        )
+
+    def _decide(
+        self, replicas: List[str], request: MethodRequest
+    ) -> SelectionDecision:
+        if not replicas:
+            return SelectionDecision(selected=(), meta={"no_replicas": True})
+        class_key = self._classify(request)
+        ctx = SelectionContext(
+            replicas=replicas,
+            estimator=self._estimator_for(class_key),
+            qos=self.qos,
+            now_ms=self.sim.now,
+            rng=self.rng,
+            distance=self.distance,
+        )
+        decision = self.policy.decide(ctx)
+        if class_key != DEFAULT_CLASS:
+            decision.meta["request_class"] = class_key
+        return decision
+
+    # -- reply path ------------------------------------------------------------
+    def handle_message(self, message: Message) -> None:
+        if message.kind == MSG_PERF:
+            perf: PerformanceUpdate = message.payload["perf"]
+            self._record_perf(perf)
+            return
+        if message.kind == MSG_PROBE_REPLY:
+            self._on_probe_reply(message)
+            return
+        # MSG_REPLY
+        t4 = self.sim.now
+        perf = message.payload["perf"]
+        replica = message.payload["replica"]
+        pending = self._pending.get(message.correlation_id)
+
+        # Every reply — first or redundant — refreshes the repository
+        # (paper §5.4.1: redundant replies are discarded but mined).
+        self._record_perf(perf)
+        if pending is not None:
+            gateway_delay = (
+                t4
+                - pending.t1
+                - perf.queue_delay_ms
+                - perf.service_time_ms
+            )
+            self._record_gateway_delay(
+                replica, gateway_delay, t4,
+                class_key=self._classify(pending.request),
+            )
+
+        if pending is None or pending.completed:
+            return  # redundant (or post-expiry) reply: discard
+
+        pending.completed = True
+        reply: MarshalledReply = message.payload["reply"]
+        value, demarshal_cost = self.marshalling.demarshal_reply(reply)
+        response_time = t4 - pending.t0  # the paper's tr = t4 − t0
+        timely = response_time <= self.qos.deadline_ms
+        self._account(response_time)
+        outcome = ReplyOutcome(
+            value=value,
+            response_time_ms=response_time,
+            timely=timely,
+            timed_out=False,
+            replica=replica,
+            redundancy=pending.decision.redundancy,
+            request_id=message.correlation_id,
+            decision_meta=dict(pending.decision.meta),
+        )
+        self.tracer.emit(
+            self.sim.now, f"client.{self.host}", "client.reply",
+            msg_id=message.correlation_id, replica=replica,
+            tr=response_time, timely=timely,
+        )
+        # The CORBA upcall happens after demarshalling.
+        self.sim.call_in(
+            demarshal_cost, lambda: outcome_event_succeed(pending.event, outcome)
+        )
+
+    def _expire(self, msg_id: int) -> None:
+        pending = self._pending.pop(msg_id, None)
+        if pending is None:
+            return
+        if pending.completed:
+            return  # normal case: reply already delivered; just forget it
+        pending.completed = True
+        pending.expired = True
+        response_time = self.sim.now - pending.t0
+        self._account(response_time)
+        self.metrics.increment(
+            "tf.timeouts", labels={"client": self.host, "service": self.service}
+        )
+        outcome = ReplyOutcome(
+            value=None,
+            response_time_ms=response_time,
+            timely=False,
+            timed_out=True,
+            replica=None,
+            redundancy=pending.decision.redundancy,
+            request_id=msg_id,
+            decision_meta=dict(pending.decision.meta),
+        )
+        self.tracer.emit(
+            self.sim.now, f"client.{self.host}", "client.timeout", msg_id=msg_id
+        )
+        pending.event.succeed(outcome)
+
+    # -- probing (§8 extension) --------------------------------------------------
+    def _probe_tick(self) -> None:
+        assert self.probe_staleness_ms is not None
+        stale = set()
+        for repo in self._repositories.values():
+            for name in repo.replicas():
+                if (
+                    repo.record(name).staleness(self.sim.now)
+                    > self.probe_staleness_ms
+                ):
+                    stale.add(name)
+        for replica in sorted(stale):
+            self._send_probe(replica)
+        self.sim.call_in(self.probe_interval_ms, self._probe_tick, daemon=True)
+
+    def _send_probe(self, replica: str) -> None:
+        message = Message(
+            sender=self.host,
+            destination=replica,
+            kind=MSG_PROBE,
+            payload={"service": self.service, "client": self.host},
+            size_bytes=64,
+        )
+        self._probes_in_flight[message.msg_id] = self.sim.now
+        self.probes_sent += 1
+        self.transport.send(message)
+        self.tracer.emit(
+            self.sim.now, f"client.{self.host}", "client.probe", replica=replica
+        )
+
+    def _on_probe_reply(self, message: Message) -> None:
+        sent_at = self._probes_in_flight.pop(message.correlation_id, None)
+        if sent_at is None:
+            return
+        replica = message.payload["replica"]
+        round_trip = self.sim.now - sent_at
+        queue_length = message.payload["queue_length"]
+        for repo in self._repositories.values():
+            if replica not in repo:
+                continue
+            self._record_gateway_delay_into(
+                repo, replica, round_trip, self.sim.now
+            )
+            repo.record(replica).queue_length = queue_length
+
+    # -- accounting --------------------------------------------------------------
+    def _record_perf(self, perf: PerformanceUpdate) -> None:
+        class_key = (
+            self._classify(perf.request)
+            if perf.request is not None
+            else DEFAULT_CLASS
+        )
+        repo = self._repo_for(class_key)
+        if perf.replica not in repo:
+            return  # evicted replica; a stale push must not resurrect it
+        repo.record_performance(
+            perf.replica,
+            perf.service_time_ms,
+            perf.queue_delay_ms,
+            perf.queue_length,
+            self.sim.now,
+        )
+
+    def _record_gateway_delay(
+        self, replica: str, delay_ms: float, now_ms: float, class_key: str
+    ) -> None:
+        repo = self._repo_for(class_key)
+        self._record_gateway_delay_into(repo, replica, delay_ms, now_ms)
+        # The gateway delay is request-class independent (it is a property
+        # of the network path): share it with the default class too, so
+        # rarely-used classes still have a fresh T_i.
+        if class_key != DEFAULT_CLASS:
+            self._record_gateway_delay_into(
+                self._repo_for(DEFAULT_CLASS), replica, delay_ms, now_ms
+            )
+
+    @staticmethod
+    def _record_gateway_delay_into(
+        repo: InformationRepository, replica: str, delay_ms: float, now_ms: float
+    ) -> None:
+        if replica in repo:
+            repo.record_gateway_delay(replica, delay_ms, now_ms)
+
+    def _account(self, response_time: float) -> None:
+        failed = self.stats.record(response_time, self.qos.deadline_ms)
+        self.metrics.observe(
+            "tf.response_time_ms", response_time,
+            labels={"client": self.host, "service": self.service},
+        )
+        if failed:
+            self.metrics.increment(
+                "tf.timing_failures",
+                labels={"client": self.host, "service": self.service},
+            )
+        if self.stats.violates(self.qos):
+            if not self._violation_reported and self.violation_callback:
+                self.violation_callback(
+                    self.service,
+                    self.stats.observed_timely_probability,
+                    self.qos,
+                )
+            self._violation_reported = True
+        else:
+            self._violation_reported = False
+
+    def __repr__(self) -> str:
+        return (
+            f"<TimingFaultClientHandler {self.host!r} service={self.service!r} "
+            f"pending={len(self._pending)}>"
+        )
+
+
+def outcome_event_succeed(event: Event, outcome: ReplyOutcome) -> None:
+    """Deliver ``outcome`` unless the event already completed (expiry race)."""
+    if not event.triggered:
+        event.succeed(outcome)

@@ -1,0 +1,128 @@
+"""Crash failure detection.
+
+Maestro/Ensemble detects member crashes and announces membership changes.
+Our analog is a heartbeat-style detector: it samples each watched host's
+liveness every ``poll_interval_ms`` and declares a crash after the host has
+been observed down for ``confirm_polls`` consecutive samples.  The product
+of the two is the *detection latency* — the window during which the paper's
+selection algorithm must survive on redundancy alone, which is exactly why
+Algorithm 1 over-provisions by one replica.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..net.lan import LanModel
+from ..sim.kernel import Simulator
+from ..sim.trace import NullTracer, Tracer
+
+__all__ = ["FailureDetector"]
+
+CrashListener = Callable[[str], None]
+
+
+class FailureDetector:
+    """Periodically polls host liveness and reports confirmed crashes.
+
+    Parameters
+    ----------
+    sim, lan:
+        Kernel and topology.
+    poll_interval_ms:
+        Gap between liveness samples for each watched host.
+    confirm_polls:
+        Consecutive "down" samples required before declaring a crash
+        (guards against transient unreachability).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        lan: LanModel,
+        poll_interval_ms: float = 50.0,
+        confirm_polls: int = 2,
+        tracer: Optional[Tracer] = None,
+    ):
+        if poll_interval_ms <= 0:
+            raise ValueError(f"poll_interval_ms must be > 0, got {poll_interval_ms}")
+        if confirm_polls < 1:
+            raise ValueError(f"confirm_polls must be >= 1, got {confirm_polls}")
+        self.sim = sim
+        self.lan = lan
+        self.poll_interval_ms = float(poll_interval_ms)
+        self.confirm_polls = int(confirm_polls)
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self._listeners: List[CrashListener] = []
+        self._watched: Dict[str, int] = {}  # host -> consecutive down samples
+        self._declared: Dict[str, float] = {}  # host -> time of declaration
+
+    @property
+    def detection_latency_ms(self) -> float:
+        """Worst-case time from crash to declaration."""
+        return self.poll_interval_ms * (self.confirm_polls + 1)
+
+    # -- wiring --------------------------------------------------------------
+    def watch(self, host_name: str) -> None:
+        """Start monitoring ``host_name`` (idempotent)."""
+        self.lan.host(host_name)  # validate
+        if host_name in self._watched:
+            return
+        self._watched[host_name] = 0
+        self.sim.call_in(
+            self.poll_interval_ms, lambda: self._poll(host_name), daemon=True
+        )
+
+    def unwatch(self, host_name: str) -> None:
+        """Stop monitoring ``host_name`` (idempotent)."""
+        self._watched.pop(host_name, None)
+
+    def on_crash(self, listener: CrashListener) -> None:
+        """Call ``listener(host_name)`` when a crash is confirmed."""
+        self._listeners.append(listener)
+
+    # -- inspection ------------------------------------------------------------
+    def is_declared_crashed(self, host_name: str) -> bool:
+        """Whether a crash has been declared for this host."""
+        return host_name in self._declared
+
+    def declared_crashes(self) -> Dict[str, float]:
+        """Map of declared-crashed hosts to the declaration time."""
+        return dict(self._declared)
+
+    def forget(self, host_name: str) -> None:
+        """Clear a crash declaration (call when the host recovers)."""
+        self._declared.pop(host_name, None)
+        if host_name in self._watched:
+            self._watched[host_name] = 0
+
+    # -- engine ------------------------------------------------------------
+    def _poll(self, host_name: str) -> None:
+        if host_name not in self._watched:
+            return  # unwatched in the meantime
+        if self.lan.is_up(host_name):
+            self._watched[host_name] = 0
+            if host_name in self._declared:
+                # Recovered without an explicit forget(); treat as rejoin.
+                self._declared.pop(host_name)
+        else:
+            self._watched[host_name] += 1
+            if (
+                self._watched[host_name] >= self.confirm_polls
+                and host_name not in self._declared
+            ):
+                self._declared[host_name] = self.sim.now
+                self.tracer.emit(
+                    self.sim.now, "failure-detector", "fd.crash", host=host_name
+                )
+                for listener in list(self._listeners):
+                    listener(host_name)
+        self.sim.call_in(
+            self.poll_interval_ms, lambda: self._poll(host_name), daemon=True
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<FailureDetector watched={len(self._watched)} "
+            f"declared={len(self._declared)}>"
+        )

@@ -1,0 +1,21 @@
+"""Measurement utilities: streaming statistics and metric collection."""
+
+from .collector import MetricsCollector
+from .stats import (
+    RunningStats,
+    Summary,
+    mean_confidence_interval,
+    percentile,
+    proportion_confidence_interval,
+    summarize,
+)
+
+__all__ = [
+    "MetricsCollector",
+    "RunningStats",
+    "Summary",
+    "summarize",
+    "percentile",
+    "mean_confidence_interval",
+    "proportion_confidence_interval",
+]

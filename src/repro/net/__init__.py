@@ -1,0 +1,15 @@
+"""Simulated LAN: hosts, latency model, messages and transport."""
+
+from .lan import Host, LanModel, LinkProfile, bursty_jitter
+from .message import Message, next_message_id
+from .transport import Transport
+
+__all__ = [
+    "Host",
+    "LanModel",
+    "LinkProfile",
+    "bursty_jitter",
+    "Message",
+    "next_message_id",
+    "Transport",
+]

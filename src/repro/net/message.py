@@ -1,0 +1,92 @@
+"""Message types carried by the simulated LAN.
+
+Messages are immutable envelopes: a payload plus addressing and accounting
+metadata.  The gateway layers (``repro.gateway``) put marshalled CORBA-style
+requests/replies inside; the group layer (``repro.group``) wraps them again
+for multicast delivery — mirroring the AQuA / Maestro-Ensemble layering of
+the paper without bit-level encoding.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["Message", "next_message_id"]
+
+_message_counter = itertools.count(1)
+
+
+def next_message_id() -> int:
+    """Process-wide unique message identifier."""
+    return next(_message_counter)
+
+
+@dataclass(frozen=True)
+class Message:
+    """An envelope travelling between two hosts.
+
+    Attributes
+    ----------
+    sender:
+        Name of the sending host.
+    destination:
+        Name of the receiving host.
+    kind:
+        Machine-readable type tag, e.g. ``"request"``, ``"reply"``,
+        ``"perf-update"``, ``"membership"``.
+    payload:
+        Arbitrary structured content.  By convention a dict.
+    size_bytes:
+        Simulated wire size; feeds the transmission-delay model.
+    msg_id:
+        Unique id assigned at construction.
+    correlation_id:
+        Id tying replies to their request (0 = uncorrelated).
+    headers:
+        Optional extra metadata (e.g. multicast group name).
+    """
+
+    sender: str
+    destination: str
+    kind: str
+    payload: Any = None
+    size_bytes: int = 256
+    msg_id: int = field(default_factory=next_message_id)
+    correlation_id: int = 0
+    headers: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"size_bytes must be >= 0, got {self.size_bytes}")
+
+    def with_destination(self, destination: str) -> "Message":
+        """A copy addressed to ``destination`` (same msg_id: one multicast)."""
+        return replace(self, destination=destination)
+
+    def reply_to(self) -> str:
+        """The host a reply should be addressed to."""
+        return self.sender
+
+    def header(self, key: str, default: Any = None) -> Any:
+        """Look up a header value by key."""
+        for header_key, value in self.headers:
+            if header_key == key:
+                return value
+        return default
+
+    def with_header(self, key: str, value: Any) -> "Message":
+        """A copy with ``key: value`` appended to the headers."""
+        return replace(self, headers=self.headers + ((key, value),))
+
+    def describe(self) -> Dict[str, Any]:
+        """Compact dict for tracing."""
+        return {
+            "msg_id": self.msg_id,
+            "msg_kind": self.kind,
+            "from": self.sender,
+            "to": self.destination,
+            "size": self.size_bytes,
+            "corr": self.correlation_id,
+        }

@@ -1,0 +1,144 @@
+"""Message transport over the simulated LAN.
+
+:class:`Transport` connects hosts to the :class:`~repro.net.lan.LanModel`:
+components register a receive callback per host, and ``send`` /
+``multicast`` deliver messages after a sampled one-way delay.  Deliveries
+addressed to a crashed host are dropped silently — exactly the behaviour a
+sender on a real LAN observes, and the reason the paper needs redundant
+selection and group-membership crash notification.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..sim.kernel import Simulator
+from ..sim.trace import NullTracer, Tracer
+from .lan import LanModel
+from .message import Message
+
+__all__ = ["Transport"]
+
+Receiver = Callable[[Message], None]
+
+
+class Transport:
+    """Delivers messages between registered host endpoints.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel (provides the clock and scheduling).
+    lan:
+        Latency/topology model.
+    tracer:
+        Optional structured tracer; emits ``net.sent`` / ``net.delivered`` /
+        ``net.dropped`` records.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        lan: LanModel,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.sim = sim
+        self.lan = lan
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self._receivers: Dict[str, Receiver] = {}
+        self.sent_count = 0
+        self.delivered_count = 0
+        self.dropped_count = 0
+        self.lost_count = 0
+
+    # -- wiring --------------------------------------------------------------
+    def bind(self, host_name: str, receiver: Receiver) -> None:
+        """Attach the receive callback for ``host_name``."""
+        self.lan.host(host_name)  # validate the host exists
+        if host_name in self._receivers:
+            raise ValueError(f"host {host_name!r} already bound")
+        self._receivers[host_name] = receiver
+
+    def unbind(self, host_name: str) -> None:
+        """Detach the receiver for ``host_name`` (idempotent)."""
+        self._receivers.pop(host_name, None)
+
+    def is_bound(self, host_name: str) -> bool:
+        """Whether a receiver is attached for ``host_name``."""
+        return host_name in self._receivers
+
+    # -- sending -------------------------------------------------------------
+    def send(self, message: Message, group_size: int = 1) -> float:
+        """Send one unicast message; returns the sampled one-way delay (ms).
+
+        The message is delivered to the destination's receiver after the
+        delay unless the destination is down (or goes down before the
+        delivery instant), in which case it is dropped.
+        """
+        self.sent_count += 1
+        delay = self.lan.one_way_delay(
+            message.sender,
+            message.destination,
+            size_bytes=message.size_bytes,
+            group_size=group_size,
+        )
+        if self.lan.should_drop(message.sender, message.destination):
+            # Omission fault: the message vanishes in transit.
+            self.lost_count += 1
+            self.tracer.emit(
+                self.sim.now, "transport", "net.lost", **message.describe()
+            )
+            return delay
+        self.tracer.emit(
+            self.sim.now, "transport", "net.sent", delay=delay, **message.describe()
+        )
+        self.sim.call_in(delay, lambda: self._deliver(message))
+        return delay
+
+    def multicast(
+        self, message: Message, destinations: Sequence[str]
+    ) -> List[float]:
+        """Send copies of ``message`` to every destination.
+
+        All copies share the original ``msg_id`` (one logical multicast) but
+        each experiences its own link delay — the group pays the
+        per-member overhead of the larger destination set.
+        Returns the per-destination delays in destination order.
+        """
+        if not destinations:
+            raise ValueError("multicast needs at least one destination")
+        delays = []
+        group_size = len(destinations)
+        for destination in destinations:
+            copy = message.with_destination(destination)
+            delays.append(self.send(copy, group_size=group_size))
+        return delays
+
+    # -- delivery ------------------------------------------------------------
+    def _deliver(self, message: Message) -> None:
+        if not self.lan.is_up(message.destination):
+            self.dropped_count += 1
+            self.tracer.emit(
+                self.sim.now, "transport", "net.dropped",
+                reason="host-down", **message.describe(),
+            )
+            return
+        receiver = self._receivers.get(message.destination)
+        if receiver is None:
+            self.dropped_count += 1
+            self.tracer.emit(
+                self.sim.now, "transport", "net.dropped",
+                reason="no-receiver", **message.describe(),
+            )
+            return
+        self.delivered_count += 1
+        self.tracer.emit(
+            self.sim.now, "transport", "net.delivered", **message.describe()
+        )
+        receiver(message)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Transport sent={self.sent_count} delivered={self.delivered_count} "
+            f"dropped={self.dropped_count}>"
+        )

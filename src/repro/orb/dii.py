@@ -1,0 +1,42 @@
+"""Dynamic invocation (DII analog).
+
+The AQuA server gateway enqueues demarshalled requests into the server
+application's request queue "using CORBA's dynamic invocation interface"
+(paper §5.1, Stage 3).  :class:`DynamicInvoker` is that thin adapter: it
+takes a servant and a :class:`~repro.orb.object.MethodRequest` and performs
+the upcall, insulating gateways from servant classes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .object import MethodRequest, Servant
+
+__all__ = ["DynamicInvoker", "InvocationError"]
+
+
+class InvocationError(Exception):
+    """A dynamic upcall failed (unknown method, servant raised, ...)."""
+
+
+class DynamicInvoker:
+    """Performs dynamic upcalls on a servant."""
+
+    def __init__(self, servant: Servant):
+        self.servant = servant
+
+    def invoke(self, request: MethodRequest) -> Any:
+        """Dispatch ``request`` on the servant and return its reply value."""
+        if request.service != self.servant.interface.name:
+            raise InvocationError(
+                f"request for service {request.service!r} reached a servant "
+                f"of {self.servant.interface.name!r}"
+            )
+        try:
+            return self.servant.dispatch(request.method, request.args)
+        except (KeyError, NotImplementedError) as exc:
+            raise InvocationError(str(exc)) from exc
+
+    def __repr__(self) -> str:
+        return f"<DynamicInvoker service={self.servant.interface.name!r}>"

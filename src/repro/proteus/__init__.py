@@ -1,0 +1,5 @@
+"""Proteus analog: dependability management for replicated services."""
+
+from .manager import DependabilityManager, ServiceSpec
+
+__all__ = ["DependabilityManager", "ServiceSpec"]

@@ -1,0 +1,28 @@
+"""Replica-side components: applications, load models, fault injection."""
+
+from .faults import CrashSchedule, FaultInjector
+from .load import (
+    ConstantLoad,
+    CoupledLoad,
+    HostActivity,
+    LoadModel,
+    PeriodicLoad,
+    ServiceProfile,
+    StepLoad,
+    paper_service_model,
+)
+from .server import ReplicaApplication
+
+__all__ = [
+    "ReplicaApplication",
+    "ServiceProfile",
+    "LoadModel",
+    "ConstantLoad",
+    "StepLoad",
+    "PeriodicLoad",
+    "HostActivity",
+    "CoupledLoad",
+    "paper_service_model",
+    "CrashSchedule",
+    "FaultInjector",
+]

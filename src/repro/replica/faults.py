@@ -1,0 +1,119 @@
+"""Fault injection: replica crashes and recoveries on a schedule.
+
+The paper's §5.3.2 guarantee — the selected set still meets the client's
+probability after a single member crash — is exercised by crashing hosts
+mid-run.  A crash here is fail-stop: the host drops off the LAN (all
+in-flight deliveries to it are lost), its server handler stops consuming
+its queue, and the failure detector eventually evicts it from its groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..net.lan import LanModel
+from ..sim.kernel import Simulator
+from ..sim.trace import NullTracer, Tracer
+
+__all__ = ["CrashSchedule", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class CrashSchedule:
+    """One scripted crash (and optional recovery) of a host.
+
+    Attributes
+    ----------
+    host:
+        The host to crash.
+    crash_at_ms:
+        Simulated time of the crash.
+    recover_at_ms:
+        Optional time the host comes back; ``None`` means it stays down.
+    """
+
+    host: str
+    crash_at_ms: float
+    recover_at_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.crash_at_ms < 0:
+            raise ValueError(f"crash time must be >= 0, got {self.crash_at_ms}")
+        if self.recover_at_ms is not None and self.recover_at_ms <= self.crash_at_ms:
+            raise ValueError("recovery must come strictly after the crash")
+
+
+class FaultInjector:
+    """Applies :class:`CrashSchedule` entries to the running system.
+
+    Components with crash-sensitive internal state (the server handlers)
+    register per-host ``on_crash`` / ``on_recover`` hooks; the injector
+    marks the host down on the LAN *and* runs the hooks, so queue draining
+    stops at the same instant deliveries start being dropped.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        lan: LanModel,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.sim = sim
+        self.lan = lan
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self._crash_hooks: Dict[str, List[Callable[[], None]]] = {}
+        self._recover_hooks: Dict[str, List[Callable[[], None]]] = {}
+        self.crashes_injected = 0
+        self.recoveries_injected = 0
+
+    # -- wiring --------------------------------------------------------------
+    def on_crash(self, host: str, hook: Callable[[], None]) -> None:
+        """Run ``hook()`` at the instant ``host`` crashes."""
+        self._crash_hooks.setdefault(host, []).append(hook)
+
+    def on_recover(self, host: str, hook: Callable[[], None]) -> None:
+        """Run ``hook()`` at the instant ``host`` recovers."""
+        self._recover_hooks.setdefault(host, []).append(hook)
+
+    # -- scheduling ------------------------------------------------------------
+    def schedule(self, schedule: CrashSchedule) -> None:
+        """Arm one crash (and its optional recovery)."""
+        self.lan.host(schedule.host)  # validate early
+        self.sim.call_at(schedule.crash_at_ms, lambda: self.crash_now(schedule.host))
+        if schedule.recover_at_ms is not None:
+            self.sim.call_at(
+                schedule.recover_at_ms, lambda: self.recover_now(schedule.host)
+            )
+
+    def schedule_all(self, schedules: List[CrashSchedule]) -> None:
+        """Arm several crash schedules."""
+        for schedule in schedules:
+            self.schedule(schedule)
+
+    # -- immediate injection ---------------------------------------------------
+    def crash_now(self, host: str) -> None:
+        """Fail-stop ``host`` at the current instant (idempotent)."""
+        if not self.lan.is_up(host):
+            return
+        self.lan.mark_down(host)
+        self.crashes_injected += 1
+        self.tracer.emit(self.sim.now, "fault-injector", "fault.crash", host=host)
+        for hook in self._crash_hooks.get(host, []):
+            hook()
+
+    def recover_now(self, host: str) -> None:
+        """Bring ``host`` back up at the current instant (idempotent)."""
+        if self.lan.is_up(host):
+            return
+        self.lan.mark_up(host)
+        self.recoveries_injected += 1
+        self.tracer.emit(self.sim.now, "fault-injector", "fault.recover", host=host)
+        for hook in self._recover_hooks.get(host, []):
+            hook()
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultInjector crashes={self.crashes_injected} "
+            f"recoveries={self.recoveries_injected}>"
+        )

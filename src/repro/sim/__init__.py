@@ -1,0 +1,54 @@
+"""Discrete-event simulation substrate.
+
+This package provides the simulated "machines and wires" on which the
+reproduction runs: an event-driven kernel with a millisecond clock
+(:class:`Simulator`), generator-based processes (:class:`Process`),
+reproducible named random streams (:class:`RandomStreams`) and structured
+tracing (:class:`Tracer`).
+"""
+
+from .events import AllOf, AnyOf, Event, EventState, Interrupt, SimulationError, Timeout
+from .kernel import Simulator
+from .process import Process
+from .random import (
+    Constant,
+    Distribution,
+    Empirical,
+    Exponential,
+    LogNormal,
+    MarkovModulated,
+    Mixture,
+    Normal,
+    Pareto,
+    RandomStreams,
+    TruncatedNormal,
+    Uniform,
+)
+from .trace import NullTracer, TraceRecord, Tracer
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Event",
+    "EventState",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+    "RandomStreams",
+    "Distribution",
+    "Constant",
+    "Uniform",
+    "Exponential",
+    "Normal",
+    "TruncatedNormal",
+    "LogNormal",
+    "Pareto",
+    "Empirical",
+    "Mixture",
+    "MarkovModulated",
+    "Tracer",
+    "NullTracer",
+    "TraceRecord",
+]

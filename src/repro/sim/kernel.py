@@ -1,0 +1,188 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the simulated clock and the pending-event heap.
+Time is a ``float`` in **milliseconds** throughout the repository, matching
+the units the paper reports.
+
+The kernel is deliberately small: events (:mod:`repro.sim.events`),
+processes (:mod:`repro.sim.process`) and everything above them are built
+from ``_schedule`` and the run loop below.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from .events import AllOf, AnyOf, Event, SimulationError, Timeout
+from .process import Process
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Event-driven simulator with a monotonically advancing clock.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulated clock, in milliseconds.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: List[Tuple[float, int, bool, Event]] = []
+        self._sequence = 0
+        self._processed_events = 0
+        self._pending_live = 0
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events the run loop has fired so far."""
+        return self._processed_events
+
+    # -- factories -----------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` ms from now."""
+        return Timeout(self, delay, value)
+
+    @property
+    def pending_live(self) -> int:
+        """Number of non-daemon events still on the heap."""
+        return self._pending_live
+
+    def spawn(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Start a new process from ``generator`` at the current instant."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: List[Event]) -> AnyOf:
+        """Event firing when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: List[Event]) -> AllOf:
+        """Event firing when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback()`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} ms: clock already at {self._now} ms"
+            )
+        event = self.timeout(when - self._now)
+        event.add_callback(lambda _event: callback())
+        return event
+
+    def call_in(
+        self, delay: float, callback: Callable[[], None], daemon: bool = False
+    ) -> Event:
+        """Run ``callback()`` after ``delay`` milliseconds.
+
+        ``daemon=True`` marks the firing as background activity: daemon
+        events still fire during bounded runs (``run(until=...)``) but do
+        not keep an unbounded ``run()`` alive.  Use it for self-reschedul-
+        ing activities such as failure-detector polls.
+        """
+        event = self.timeout(delay)
+        if daemon:
+            self._demote_to_daemon(event)
+        event.add_callback(lambda _event: callback())
+        return event
+
+    # -- scheduling ------------------------------------------------------
+    def _schedule(self, event: Event, delay: float) -> None:
+        """Place ``event`` on the heap ``delay`` ms from now (FIFO-stable)."""
+        self._sequence += 1
+        self._pending_live += 1
+        heapq.heappush(
+            self._heap, (self._now + delay, self._sequence, False, event)
+        )
+
+    def _demote_to_daemon(self, event: Event) -> None:
+        """Re-tag an already scheduled event as daemon (kernel-internal)."""
+        for index, (when, seq, daemon, entry) in enumerate(self._heap):
+            if entry is event and not daemon:
+                self._heap[index] = (when, seq, True, entry)
+                self._pending_live -= 1
+                return
+
+    # -- run loop ----------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next pending event, or ``float('inf')`` if none."""
+        if not self._heap:
+            return float("inf")
+        return self._heap[0][0]
+
+    def step(self) -> None:
+        """Fire the single next event, advancing the clock to it."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event heap")
+        when, _seq, daemon, event = heapq.heappop(self._heap)
+        if not daemon:
+            self._pending_live -= 1
+        self._now = when
+        self._processed_events += 1
+        event._run_callbacks()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until work drains or the clock would pass ``until``.
+
+        Without ``until``, the run stops once no *non-daemon* events remain
+        (daemon background activity alone does not keep a simulation
+        alive).  With ``until`` set, all events — daemon included — fire up
+        to the horizon and the clock is left exactly at ``until``, so
+        repeated ``run(until=...)`` calls compose predictably.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"run until {until} ms is in the past (now {self._now} ms)"
+            )
+        while self._heap:
+            if until is None and self._pending_live == 0:
+                return
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until
+
+    def run_until_event(self, event: Event, limit: Optional[float] = None) -> Any:
+        """Run until ``event`` has been processed; return its value.
+
+        Raises the event's exception if it failed, and
+        :class:`SimulationError` if the heap drains (or ``limit`` is hit)
+        before the event fires.
+        """
+        while not event.processed:
+            if not self._heap:
+                raise SimulationError("simulation ended before event fired")
+            if limit is not None and self.peek() > limit:
+                raise SimulationError(
+                    f"event did not fire before limit {limit} ms"
+                )
+            self.step()
+        if not event.ok:
+            raise event.value
+        return event.value
+
+    def __repr__(self) -> str:
+        return (
+            f"<Simulator now={self._now:.3f}ms "
+            f"pending={len(self._heap)} processed={self._processed_events}>"
+        )

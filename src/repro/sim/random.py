@@ -1,0 +1,386 @@
+"""Reproducible random-number streams for simulations.
+
+Every stochastic component of the simulation draws from its own named
+substream so that (a) runs are reproducible given a root seed, and (b)
+changing how often one component draws does not perturb the variates seen
+by the others — the classic "common random numbers" discipline used in
+simulation studies.
+
+Distributions used by the reproduction (normal/truncated-normal service
+delays, exponential think times, bursty link delays) are exposed as small
+wrapper classes with a uniform ``sample()`` interface so scenario files can
+configure them declaratively.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = [
+    "RandomStreams",
+    "Distribution",
+    "Constant",
+    "Uniform",
+    "Exponential",
+    "Normal",
+    "TruncatedNormal",
+    "LogNormal",
+    "Pareto",
+    "Empirical",
+    "Mixture",
+    "MarkovModulated",
+]
+
+
+def _derive_seed(root_seed: int, name: str) -> int:
+    """Derive a 64-bit child seed from ``root_seed`` and a stream name."""
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class RandomStreams:
+    """A family of independent, named random substreams.
+
+    >>> streams = RandomStreams(seed=42)
+    >>> rng = streams.stream("replica-3.service")
+    >>> rng is streams.stream("replica-3.service")
+    True
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (creating if needed) the substream called ``name``."""
+        rng = self._streams.get(name)
+        if rng is None:
+            rng = np.random.default_rng(_derive_seed(self.seed, name))
+            self._streams[name] = rng
+        return rng
+
+    def fork(self, name: str) -> "RandomStreams":
+        """A child family whose streams are independent of this family's."""
+        return RandomStreams(_derive_seed(self.seed, f"fork:{name}"))
+
+
+class Distribution:
+    """Base class for one-dimensional sampling distributions."""
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one variate."""
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """Analytic mean where known; used by tests and load balancing."""
+        raise NotImplementedError
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` variates (vectorized where possible)."""
+        return np.array([self.sample(rng) for _ in range(n)])
+
+
+class Constant(Distribution):
+    """Degenerate distribution: always ``value``."""
+
+    def __init__(self, value: float):
+        if value < 0:
+            raise ValueError(f"constant delay must be >= 0, got {value}")
+        self.value = float(value)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.value
+
+    def mean(self) -> float:
+        return self.value
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, self.value)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value})"
+
+
+class Uniform(Distribution):
+    """Uniform on ``[low, high)``."""
+
+    def __init__(self, low: float, high: float):
+        if high < low:
+            raise ValueError(f"need low <= high, got [{low}, {high})")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=n)
+
+    def __repr__(self) -> str:
+        return f"Uniform({self.low}, {self.high})"
+
+
+class Exponential(Distribution):
+    """Exponential with the given mean (not rate)."""
+
+    def __init__(self, mean: float):
+        if mean <= 0:
+            raise ValueError(f"exponential mean must be > 0, got {mean}")
+        self._mean = float(mean)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self._mean))
+
+    def mean(self) -> float:
+        return self._mean
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.exponential(self._mean, size=n)
+
+    def __repr__(self) -> str:
+        return f"Exponential(mean={self._mean})"
+
+
+class Normal(Distribution):
+    """Normal(mu, sigma), clipped at zero (delays cannot be negative)."""
+
+    def __init__(self, mu: float, sigma: float):
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return max(0.0, float(rng.normal(self.mu, self.sigma)))
+
+    def mean(self) -> float:
+        # Mean of the zero-clipped normal.
+        if self.sigma == 0:
+            return max(0.0, self.mu)
+        z = self.mu / self.sigma
+        phi = math.exp(-0.5 * z * z) / math.sqrt(2 * math.pi)
+        cdf = 0.5 * (1 + math.erf(z / math.sqrt(2)))
+        return self.mu * cdf + self.sigma * phi
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.clip(rng.normal(self.mu, self.sigma, size=n), 0.0, None)
+
+    def __repr__(self) -> str:
+        return f"Normal(mu={self.mu}, sigma={self.sigma})"
+
+
+class TruncatedNormal(Distribution):
+    """Normal(mu, sigma) resampled until it lands in ``[low, high]``."""
+
+    def __init__(
+        self,
+        mu: float,
+        sigma: float,
+        low: float = 0.0,
+        high: float = math.inf,
+    ):
+        if sigma <= 0:
+            raise ValueError(f"sigma must be > 0, got {sigma}")
+        if low >= high:
+            raise ValueError(f"need low < high, got [{low}, {high}]")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        for _ in range(1000):
+            x = float(rng.normal(self.mu, self.sigma))
+            if self.low <= x <= self.high:
+                return x
+        # Pathological truncation window: fall back to clipping.
+        return min(max(float(rng.normal(self.mu, self.sigma)), self.low), self.high)
+
+    def mean(self) -> float:
+        # Standard truncated-normal mean formula.
+        a = (self.low - self.mu) / self.sigma
+        b = (self.high - self.mu) / self.sigma
+
+        def phi(x: float) -> float:
+            return math.exp(-0.5 * x * x) / math.sqrt(2 * math.pi)
+
+        def cdf(x: float) -> float:
+            if math.isinf(x):
+                return 1.0 if x > 0 else 0.0
+            return 0.5 * (1 + math.erf(x / math.sqrt(2)))
+
+        denom = cdf(b) - cdf(a)
+        phi_b = 0.0 if math.isinf(b) else phi(b)
+        return self.mu + self.sigma * (phi(a) - phi_b) / denom
+
+    def __repr__(self) -> str:
+        return (
+            f"TruncatedNormal(mu={self.mu}, sigma={self.sigma}, "
+            f"low={self.low}, high={self.high})"
+        )
+
+
+class LogNormal(Distribution):
+    """Log-normal parameterized by the *underlying* normal's mu/sigma."""
+
+    def __init__(self, mu: float, sigma: float):
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+
+    @classmethod
+    def from_mean_cv(cls, mean: float, cv: float) -> "LogNormal":
+        """Build from the distribution's mean and coefficient of variation."""
+        if mean <= 0:
+            raise ValueError(f"mean must be > 0, got {mean}")
+        sigma2 = math.log(1.0 + cv * cv)
+        mu = math.log(mean) - sigma2 / 2.0
+        return cls(mu, math.sqrt(sigma2))
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self.mu, self.sigma))
+
+    def mean(self) -> float:
+        return math.exp(self.mu + self.sigma * self.sigma / 2.0)
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.lognormal(self.mu, self.sigma, size=n)
+
+    def __repr__(self) -> str:
+        return f"LogNormal(mu={self.mu}, sigma={self.sigma})"
+
+
+class Pareto(Distribution):
+    """Pareto with scale ``xm`` and shape ``alpha`` (heavy-tailed delays)."""
+
+    def __init__(self, xm: float, alpha: float):
+        if xm <= 0 or alpha <= 0:
+            raise ValueError(f"need xm > 0 and alpha > 0, got {xm}, {alpha}")
+        self.xm = float(xm)
+        self.alpha = float(alpha)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.xm * (1.0 + float(rng.pareto(self.alpha)))
+
+    def mean(self) -> float:
+        if self.alpha <= 1:
+            return math.inf
+        return self.alpha * self.xm / (self.alpha - 1)
+
+    def __repr__(self) -> str:
+        return f"Pareto(xm={self.xm}, alpha={self.alpha})"
+
+
+class Empirical(Distribution):
+    """Resamples uniformly from a fixed set of observed values."""
+
+    def __init__(self, values: Sequence[float]):
+        if not values:
+            raise ValueError("empirical distribution needs at least one value")
+        self.values = np.asarray(values, dtype=float)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.choice(self.values))
+
+    def mean(self) -> float:
+        return float(self.values.mean())
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.choice(self.values, size=n)
+
+    def __repr__(self) -> str:
+        return f"Empirical(n={len(self.values)})"
+
+
+class Mixture(Distribution):
+    """Probabilistic mixture of component distributions.
+
+    Useful for bimodal service times (fast cache hits / slow misses).
+    """
+
+    def __init__(self, components: Sequence[Distribution], weights: Sequence[float]):
+        if len(components) != len(weights):
+            raise ValueError("components and weights must have equal length")
+        if not components:
+            raise ValueError("mixture needs at least one component")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        self.components = list(components)
+        self.weights = np.asarray([w / total for w in weights], dtype=float)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        index = int(rng.choice(len(self.components), p=self.weights))
+        return self.components[index].sample(rng)
+
+    def mean(self) -> float:
+        return float(
+            sum(w * c.mean() for w, c in zip(self.weights, self.components))
+        )
+
+    def __repr__(self) -> str:
+        return f"Mixture(k={len(self.components)})"
+
+
+class MarkovModulated(Distribution):
+    """Two-state Markov-modulated delay (normal vs. burst periods).
+
+    Models the paper's "occasional periods of high traffic" on LAN links:
+    the process sits in a *normal* state and occasionally jumps into a
+    *burst* state where delays come from a slower distribution.  State
+    sojourns are geometric in the number of samples drawn, with switch
+    probabilities ``p_enter_burst`` and ``p_exit_burst``.
+    """
+
+    def __init__(
+        self,
+        normal_dist: Distribution,
+        burst_dist: Distribution,
+        p_enter_burst: float = 0.01,
+        p_exit_burst: float = 0.2,
+    ):
+        for name, p in (("p_enter_burst", p_enter_burst), ("p_exit_burst", p_exit_burst)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        self.normal_dist = normal_dist
+        self.burst_dist = burst_dist
+        self.p_enter_burst = float(p_enter_burst)
+        self.p_exit_burst = float(p_exit_burst)
+        self._in_burst = False
+
+    @property
+    def in_burst(self) -> bool:
+        """Whether the modulating chain is currently in the burst state."""
+        return self._in_burst
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self._in_burst:
+            if rng.random() < self.p_exit_burst:
+                self._in_burst = False
+        else:
+            if rng.random() < self.p_enter_burst:
+                self._in_burst = True
+        active = self.burst_dist if self._in_burst else self.normal_dist
+        return active.sample(rng)
+
+    def mean(self) -> float:
+        # Stationary distribution of the two-state chain.
+        p, q = self.p_enter_burst, self.p_exit_burst
+        if p + q == 0:
+            return self.normal_dist.mean()
+        pi_burst = p / (p + q)
+        return (1 - pi_burst) * self.normal_dist.mean() + pi_burst * self.burst_dist.mean()
+
+    def __repr__(self) -> str:
+        return (
+            f"MarkovModulated(normal={self.normal_dist!r}, "
+            f"burst={self.burst_dist!r})"
+        )

@@ -1,0 +1,14 @@
+"""Workloads: client behaviours and full-system scenario assembly."""
+
+from .client import ClientSummary, ClosedLoopClient, OpenLoopClient
+from .scenarios import IntegerServant, Scenario, ScenarioConfig, make_interface
+
+__all__ = [
+    "ClientSummary",
+    "ClosedLoopClient",
+    "OpenLoopClient",
+    "Scenario",
+    "ScenarioConfig",
+    "IntegerServant",
+    "make_interface",
+]

@@ -1,0 +1,74 @@
+"""Tests for the calibration analysis."""
+
+import pytest
+
+from repro.analysis.calibration import brier_score, calibration_table
+from repro.gateway.handlers.timing_fault import ReplyOutcome
+
+
+def _outcome(prediction, timely, bootstrap=False):
+    meta = {"bootstrap": bootstrap}
+    if prediction is not None:
+        meta["full_probability"] = prediction
+    return ReplyOutcome(
+        value=0,
+        response_time_ms=100.0,
+        timely=timely,
+        timed_out=False,
+        replica="r1",
+        redundancy=2,
+        request_id=1,
+        decision_meta=meta,
+    )
+
+
+class TestCalibrationTable:
+    def test_buckets_by_prediction(self):
+        outcomes = (
+            [_outcome(0.95, True)] * 9
+            + [_outcome(0.95, False)]
+            + [_outcome(0.15, False)] * 8
+            + [_outcome(0.15, True)] * 2
+        )
+        buckets = calibration_table(outcomes, num_buckets=10)
+        assert len(buckets) == 2
+        low, high = buckets
+        assert low.low == pytest.approx(0.1)
+        assert low.observed_timely == pytest.approx(0.2)
+        assert high.observed_timely == pytest.approx(0.9)
+
+    def test_prediction_of_one_lands_in_top_bucket(self):
+        buckets = calibration_table([_outcome(1.0, True)], num_buckets=10)
+        assert len(buckets) == 1
+        assert buckets[0].high == pytest.approx(1.0)
+
+    def test_bootstrap_outcomes_skipped(self):
+        outcomes = [_outcome(0.9, True, bootstrap=True)]
+        assert calibration_table(outcomes) == []
+
+    def test_missing_prediction_skipped(self):
+        assert calibration_table([_outcome(None, True)]) == []
+
+    def test_overconfidence_sign(self):
+        bucket = calibration_table(
+            [_outcome(0.95, False)] * 3 + [_outcome(0.95, True)]
+        )[0]
+        assert bucket.overconfidence > 0  # promised 0.95, delivered 0.25
+
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError):
+            calibration_table([], num_buckets=0)
+
+
+class TestBrierScore:
+    def test_perfect_predictions(self):
+        outcomes = [_outcome(1.0, True), _outcome(0.0, False)]
+        assert brier_score(outcomes) == pytest.approx(0.0)
+
+    def test_coin_flip_predictions(self):
+        outcomes = [_outcome(0.5, True), _outcome(0.5, False)]
+        assert brier_score(outcomes) == pytest.approx(0.25)
+
+    def test_no_scorable_outcomes_raises(self):
+        with pytest.raises(ValueError):
+            brier_score([_outcome(None, True)])

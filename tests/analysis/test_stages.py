@@ -1,0 +1,79 @@
+"""Tests for the stage-decomposition analysis."""
+
+import pytest
+
+from repro.analysis.stages import extract_stages, stage_summaries
+from repro.core.qos import QoSSpec
+from repro.sim.random import Constant
+from repro.workload.scenarios import Scenario, ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    config = ScenarioConfig(
+        seed=0,
+        num_replicas=3,
+        trace=True,
+        service_distribution_factory=lambda host: Constant(40.0),
+    )
+    scenario = Scenario(config)
+    client = scenario.add_client(
+        "client-1",
+        QoSSpec(config.service, 500.0, 0.5),
+        num_requests=10,
+        think_time=Constant(50.0),
+    )
+    scenario.run_to_completion()
+    return scenario, client
+
+
+def test_every_completed_request_is_decomposed(traced_run):
+    scenario, client = traced_run
+    stages = extract_stages(scenario.tracer)
+    assert len(stages) == len(client.outcomes)
+
+
+def test_stage_sum_matches_total(traced_run):
+    scenario, _client = traced_run
+    for s in extract_stages(scenario.tracer):
+        parts = (
+            s.client_ms + s.request_ms + s.queue_ms + s.service_ms + s.reply_ms
+        )
+        # Server-side demarshal/marshal live between the stages; the sum
+        # must match the total up to those small gateway costs.
+        assert parts <= s.total_ms + 1e-9
+        assert s.total_ms - parts < 2.0
+
+
+def test_service_stage_matches_configured_time(traced_run):
+    scenario, _client = traced_run
+    for s in extract_stages(scenario.tracer):
+        assert s.service_ms == pytest.approx(40.0)
+
+
+def test_decomposition_follows_winning_replica(traced_run):
+    scenario, client = traced_run
+    stages = {s.msg_id: s for s in extract_stages(scenario.tracer)}
+    replies = [o for o in client.outcomes if o.replica]
+    winners = {o.replica for o in replies}
+    assert all(s.replica in winners for s in stages.values())
+
+
+def test_network_share_is_small_on_lan(traced_run):
+    scenario, _client = traced_run
+    for s in extract_stages(scenario.tracer):
+        assert 0.0 <= s.network_share() < 0.4
+
+
+def test_summaries_cover_all_stages(traced_run):
+    scenario, _client = traced_run
+    summaries = stage_summaries(extract_stages(scenario.tracer))
+    assert set(summaries) == {
+        "client", "request-net", "queueing", "service", "reply-net", "total"
+    }
+    assert summaries["total"].mean > summaries["service"].mean
+
+
+def test_empty_trace_raises():
+    with pytest.raises(ValueError):
+        stage_summaries([])

@@ -1,0 +1,153 @@
+"""Unit tests for empirical pmfs and discrete convolution."""
+
+import numpy as np
+import pytest
+
+from repro.core.distribution import DiscretePMF, quantize
+
+
+class TestQuantize:
+    def test_rounds_to_bin_grid(self):
+        assert quantize(10.4, 1.0) == 10.0
+        assert quantize(10.6, 1.0) == 11.0
+
+    def test_fractional_bins(self):
+        assert quantize(0.26, 0.5) == 0.5
+        assert quantize(0.24, 0.5) == 0.0
+
+    def test_nonpositive_bin_rejected(self):
+        with pytest.raises(ValueError):
+            quantize(1.0, 0.0)
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DiscretePMF([], [])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            DiscretePMF([1.0], [0.5, 0.5])
+
+    def test_rejects_non_normalized(self):
+        with pytest.raises(ValueError):
+            DiscretePMF([1.0, 2.0], [0.4, 0.4])
+
+    def test_rejects_negative_probabilities(self):
+        with pytest.raises(ValueError):
+            DiscretePMF([1.0, 2.0], [1.5, -0.5])
+
+    def test_values_sorted_on_construction(self):
+        pmf = DiscretePMF([3.0, 1.0, 2.0], [0.2, 0.5, 0.3])
+        assert list(pmf.values) == [1.0, 2.0, 3.0]
+        assert list(pmf.probs) == [0.5, 0.3, 0.2]
+
+    def test_from_samples_relative_frequency(self):
+        pmf = DiscretePMF.from_samples([10, 10, 10, 20], bin_width=1.0)
+        assert pmf.items() == [(10.0, 0.75), (20.0, 0.25)]
+
+    def test_from_samples_bins_nearby_values(self):
+        pmf = DiscretePMF.from_samples([9.6, 10.2, 10.4], bin_width=1.0)
+        assert pmf.items() == [(10.0, 1.0)]
+
+    def test_from_samples_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DiscretePMF.from_samples([])
+
+    def test_degenerate(self):
+        pmf = DiscretePMF.degenerate(7.0)
+        assert pmf.mean() == 7.0
+        assert pmf.cdf(6.9) == 0.0
+        assert pmf.cdf(7.0) == 1.0
+
+
+class TestStatistics:
+    def test_mean_and_variance(self):
+        pmf = DiscretePMF([0.0, 10.0], [0.5, 0.5])
+        assert pmf.mean() == 5.0
+        assert pmf.variance() == 25.0
+
+    def test_cdf_is_right_continuous_step(self):
+        pmf = DiscretePMF([1.0, 2.0, 3.0], [0.2, 0.3, 0.5])
+        assert pmf.cdf(0.5) == 0.0
+        assert pmf.cdf(1.0) == pytest.approx(0.2)
+        assert pmf.cdf(2.5) == pytest.approx(0.5)
+        assert pmf.cdf(3.0) == pytest.approx(1.0)
+        assert pmf.cdf(100.0) == 1.0
+
+    def test_survival_complements_cdf(self):
+        pmf = DiscretePMF([1.0, 2.0], [0.4, 0.6])
+        assert pmf.survival(1.0) == pytest.approx(0.6)
+
+    def test_quantile(self):
+        pmf = DiscretePMF([1.0, 2.0, 3.0], [0.2, 0.3, 0.5])
+        assert pmf.quantile(0.1) == 1.0
+        assert pmf.quantile(0.2) == 1.0
+        assert pmf.quantile(0.5) == 2.0
+        assert pmf.quantile(1.0) == 3.0
+
+    def test_quantile_validation(self):
+        pmf = DiscretePMF.degenerate(1.0)
+        with pytest.raises(ValueError):
+            pmf.quantile(1.5)
+
+    def test_min_max(self):
+        pmf = DiscretePMF([5.0, 1.0], [0.5, 0.5])
+        assert pmf.min() == 1.0
+        assert pmf.max() == 5.0
+
+
+class TestAlgebra:
+    def test_shift_moves_support(self):
+        pmf = DiscretePMF([1.0, 2.0], [0.5, 0.5]).shift(3.0)
+        assert list(pmf.values) == [4.0, 5.0]
+        assert pmf.mean() == pytest.approx(4.5)
+
+    def test_scale(self):
+        pmf = DiscretePMF([1.0, 2.0], [0.5, 0.5]).scale(2.0)
+        assert list(pmf.values) == [2.0, 4.0]
+
+    def test_scale_by_zero_collapses_to_origin(self):
+        pmf = DiscretePMF([1.0, 2.0], [0.5, 0.5]).scale(0.0)
+        assert pmf.items() == [(0.0, 1.0)]
+
+    def test_scale_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DiscretePMF.degenerate(1.0).scale(-1.0)
+
+    def test_convolution_of_degenerates_is_sum(self):
+        a = DiscretePMF.degenerate(3.0)
+        b = DiscretePMF.degenerate(4.0)
+        assert a.convolve(b).items() == [(7.0, 1.0)]
+
+    def test_convolution_matches_hand_computation(self):
+        # Two fair coins over {0, 1}: sum ~ {0: .25, 1: .5, 2: .25}
+        coin = DiscretePMF([0.0, 1.0], [0.5, 0.5])
+        total = coin.convolve(coin)
+        assert total.items() == [(0.0, 0.25), (1.0, 0.5), (2.0, 0.25)]
+
+    def test_convolution_mean_is_additive(self):
+        a = DiscretePMF.from_samples([10, 12, 14, 16])
+        b = DiscretePMF.from_samples([1, 2, 3])
+        assert a.convolve(b).mean() == pytest.approx(a.mean() + b.mean())
+
+    def test_convolution_via_add_operator(self):
+        a = DiscretePMF.degenerate(1.0)
+        b = DiscretePMF.degenerate(2.0)
+        assert (a + b).items() == [(3.0, 1.0)]
+
+    def test_convolution_is_commutative(self):
+        a = DiscretePMF.from_samples([1, 5, 5, 9])
+        b = DiscretePMF.from_samples([0, 2, 2, 4, 4])
+        assert a.convolve(b).allclose(b.convolve(a))
+
+    def test_equation_2_composition(self):
+        # R = S + W + T with T a constant shift (paper Equation 2).
+        service = DiscretePMF.from_samples([100, 100, 120, 140, 100])
+        queueing = DiscretePMF.from_samples([0, 0, 10, 10, 30])
+        response = service.convolve(queueing).shift(3.0)
+        assert response.mean() == pytest.approx(
+            service.mean() + queueing.mean() + 3.0
+        )
+        assert response.min() == pytest.approx(103.0)
+        assert response.max() == pytest.approx(173.0)

@@ -1,0 +1,127 @@
+"""Unit tests for the response-time estimator (Equation 2)."""
+
+import pytest
+
+from repro.core.estimator import QueueScaledEstimator, ResponseTimeEstimator
+from repro.core.repository import InformationRepository
+
+
+@pytest.fixture
+def repo():
+    return InformationRepository(window_size=5)
+
+
+def _feed(repo, name, services, queues, gateway):
+    for s, q in zip(services, queues):
+        repo.record_performance(name, s, q, queue_length=1, now_ms=0.0)
+    repo.record_gateway_delay(name, gateway, now_ms=0.0)
+
+
+def test_bin_width_validation(repo):
+    with pytest.raises(ValueError):
+        ResponseTimeEstimator(repo, bin_width_ms=0.0)
+
+
+def test_no_history_returns_none(repo):
+    repo.add_replica("r1")
+    estimator = ResponseTimeEstimator(repo)
+    assert estimator.response_time_pmf("r1") is None
+    assert estimator.probability_by("r1", 100.0) is None
+
+
+def test_pmf_is_convolution_plus_shift(repo):
+    _feed(repo, "r1", services=[100, 100, 120, 120, 140],
+          queues=[0, 0, 10, 10, 20], gateway=3.0)
+    estimator = ResponseTimeEstimator(repo)
+    pmf = estimator.response_time_pmf("r1")
+    assert pmf.mean() == pytest.approx(116.0 + 8.0 + 3.0)
+    assert pmf.min() == pytest.approx(103.0)
+    assert pmf.max() == pytest.approx(163.0)
+
+
+def test_probability_by_deadline(repo):
+    _feed(repo, "r1", services=[100] * 5, queues=[0] * 5, gateway=3.0)
+    estimator = ResponseTimeEstimator(repo)
+    assert estimator.probability_by("r1", 103.0) == pytest.approx(1.0)
+    assert estimator.probability_by("r1", 102.0) == pytest.approx(0.0)
+
+
+def test_nonpositive_deadline_gives_zero(repo):
+    _feed(repo, "r1", services=[100] * 5, queues=[0] * 5, gateway=3.0)
+    estimator = ResponseTimeEstimator(repo)
+    assert estimator.probability_by("r1", 0.0) == 0.0
+    assert estimator.probability_by("r1", -5.0) == 0.0
+
+
+def test_probabilities_by_covers_all_replicas(repo):
+    _feed(repo, "r1", services=[50] * 5, queues=[0] * 5, gateway=3.0)
+    repo.add_replica("r2")  # no history
+    estimator = ResponseTimeEstimator(repo)
+    probs = estimator.probabilities_by(100.0)
+    assert probs["r1"] == pytest.approx(1.0)
+    assert probs["r2"] is None
+
+
+def test_cache_reused_until_new_measurements(repo):
+    _feed(repo, "r1", services=[100] * 5, queues=[0] * 5, gateway=3.0)
+    estimator = ResponseTimeEstimator(repo)
+    first = estimator.response_time_pmf("r1")
+    assert estimator.response_time_pmf("r1") is first  # memoized
+    repo.record_performance("r1", 200.0, 0.0, 0, now_ms=1.0)
+    second = estimator.response_time_pmf("r1")
+    assert second is not first
+    assert second.mean() > first.mean()
+
+
+def test_cache_invalidated_by_gateway_delay_update(repo):
+    _feed(repo, "r1", services=[100] * 5, queues=[0] * 5, gateway=3.0)
+    estimator = ResponseTimeEstimator(repo)
+    before = estimator.response_time_pmf("r1")
+    repo.record_gateway_delay("r1", 50.0, now_ms=1.0)
+    after = estimator.response_time_pmf("r1")
+    assert after.mean() == pytest.approx(before.mean() + 47.0)
+
+
+def test_invalidate_clears_memo(repo):
+    _feed(repo, "r1", services=[100] * 5, queues=[0] * 5, gateway=3.0)
+    estimator = ResponseTimeEstimator(repo)
+    first = estimator.response_time_pmf("r1")
+    estimator.invalidate()
+    second = estimator.response_time_pmf("r1")
+    assert second is not first
+    assert second.allclose(first)
+
+
+def test_expected_response_time(repo):
+    _feed(repo, "r1", services=[100] * 5, queues=[10] * 5, gateway=5.0)
+    estimator = ResponseTimeEstimator(repo)
+    assert estimator.expected_response_time("r1") == pytest.approx(115.0)
+    repo.add_replica("r2")
+    assert estimator.expected_response_time("r2") is None
+
+
+def test_binning_groups_noisy_samples(repo):
+    _feed(repo, "r1", services=[100.2, 99.8, 100.4, 99.6, 100.1],
+          queues=[0.1, 0.2, 0.0, 0.1, 0.2], gateway=3.0)
+    estimator = ResponseTimeEstimator(repo, bin_width_ms=1.0)
+    pmf = estimator.response_time_pmf("r1")
+    assert pmf.support_size == 1  # everything collapses to 100 + 0 + 3
+
+
+class TestQueueScaledEstimator:
+    def test_scales_with_current_queue_depth(self, repo):
+        # History: queueing ~ one service time (depth ~1).
+        _feed(repo, "r1", services=[100] * 5, queues=[100] * 5, gateway=0.0)
+        base = ResponseTimeEstimator(repo).response_time_pmf("r1")
+        record = repo.record("r1")
+        record.queue_length = 5  # queue exploded since the window filled
+        scaled = QueueScaledEstimator(repo).response_time_pmf("r1")
+        assert scaled.mean() > base.mean()
+
+    def test_matches_base_when_depth_is_stable(self, repo):
+        _feed(repo, "r1", services=[100] * 5, queues=[100] * 5, gateway=0.0)
+        record = repo.record("r1")
+        record.queue_length = 1  # same depth the history implies
+        base = ResponseTimeEstimator(repo).response_time_pmf("r1")
+        scaled = QueueScaledEstimator(repo).response_time_pmf("r1")
+        assert scaled.mean() == pytest.approx(base.mean())

@@ -1,0 +1,76 @@
+"""Unit tests for the Equation 1 timeliness model."""
+
+import pytest
+
+from repro.core.model import (
+    min_replicas_needed,
+    subset_timeliness_from_map,
+    subset_timeliness_probability,
+)
+
+
+class TestSubsetProbability:
+    def test_empty_subset_cannot_respond(self):
+        assert subset_timeliness_probability([]) == 0.0
+
+    def test_single_replica_is_identity(self):
+        assert subset_timeliness_probability([0.7]) == pytest.approx(0.7)
+
+    def test_two_replicas_match_equation_1(self):
+        # 1 - (1-0.6)(1-0.5) = 0.8
+        assert subset_timeliness_probability([0.6, 0.5]) == pytest.approx(0.8)
+
+    def test_adding_replicas_never_hurts(self):
+        base = subset_timeliness_probability([0.3, 0.4])
+        bigger = subset_timeliness_probability([0.3, 0.4, 0.01])
+        assert bigger >= base
+
+    def test_certain_replica_dominates(self):
+        assert subset_timeliness_probability([1.0, 0.1]) == 1.0
+
+    def test_all_zero_replicas_give_zero(self):
+        assert subset_timeliness_probability([0.0, 0.0]) == 0.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            subset_timeliness_probability([1.1])
+        with pytest.raises(ValueError):
+            subset_timeliness_probability([-0.1])
+
+    def test_from_map(self):
+        probs = {"r1": 0.6, "r2": 0.5}
+        assert subset_timeliness_from_map(["r1", "r2"], probs) == pytest.approx(0.8)
+
+
+class TestMinReplicasNeeded:
+    def test_target_zero_needs_one(self):
+        assert min_replicas_needed(0.5, 0.0) == 1
+
+    def test_perfect_replica_needs_one(self):
+        assert min_replicas_needed(1.0, 0.999) == 1
+
+    def test_known_case(self):
+        # 1-(1-0.5)^k >= 0.9  ->  k >= 3.32  ->  4
+        assert min_replicas_needed(0.5, 0.9) == 4
+
+    def test_exact_boundary(self):
+        # 1-(1-0.5)^1 = 0.5 exactly meets target 0.5
+        assert min_replicas_needed(0.5, 0.5) == 1
+
+    def test_zero_probability_is_unreachable(self):
+        assert min_replicas_needed(0.0, 0.5) == 10**9
+
+    def test_certain_target_with_uncertain_replicas_unreachable(self):
+        assert min_replicas_needed(0.5, 1.0) == 10**9
+
+    def test_result_actually_satisfies_target(self):
+        for p in (0.1, 0.3, 0.7, 0.95):
+            for target in (0.5, 0.9, 0.99):
+                k = min_replicas_needed(p, target)
+                assert subset_timeliness_probability([p] * k) >= target - 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            min_replicas_needed(1.5, 0.5)
+        with pytest.raises(ValueError):
+            min_replicas_needed(0.5, -0.1)

@@ -1,0 +1,116 @@
+"""Tests for the adaptive QoS controller."""
+
+import pytest
+
+from repro.core.negotiation import AdaptiveQoSController
+from repro.core.qos import QoSSpec
+
+
+class FakeHandler:
+    """Minimal RenegotiatingHandler double."""
+
+    def __init__(self, deadline=100.0, probability=0.9):
+        self.qos = QoSSpec("svc", deadline, probability)
+        self.renegotiations = 0
+
+    def renegotiate_qos(self, new_spec):
+        self.qos = new_spec
+        self.renegotiations += 1
+
+
+class TestValidation:
+    def test_relax_factor_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            AdaptiveQoSController(FakeHandler(), relax_factor=1.0)
+
+    def test_tighten_factor_range(self):
+        with pytest.raises(ValueError):
+            AdaptiveQoSController(FakeHandler(), tighten_factor=1.0)
+
+    def test_bounds_ordering(self):
+        with pytest.raises(ValueError):
+            AdaptiveQoSController(
+                FakeHandler(), min_deadline_ms=500.0, max_deadline_ms=200.0
+            )
+
+
+class TestRelaxation:
+    def test_relax_multiplies_deadline(self):
+        handler = FakeHandler(deadline=100.0)
+        controller = AdaptiveQoSController(handler, relax_factor=1.5)
+        spec = controller.relax()
+        assert spec.deadline_ms == pytest.approx(150.0)
+        assert handler.qos.deadline_ms == pytest.approx(150.0)
+        assert handler.qos.min_probability == 0.9  # untouched
+
+    def test_relax_respects_max(self):
+        handler = FakeHandler(deadline=100.0)
+        controller = AdaptiveQoSController(
+            handler, relax_factor=3.0, max_deadline_ms=200.0
+        )
+        spec = controller.relax()
+        assert spec.deadline_ms == 200.0
+        assert controller.exhausted
+        assert controller.relax() is None  # nothing left to give
+
+    def test_violation_callback_relaxes(self):
+        handler = FakeHandler(deadline=100.0)
+        controller = AdaptiveQoSController(handler)
+        controller.on_violation("svc", 0.5, handler.qos)
+        assert handler.qos.deadline_ms > 100.0
+        assert controller.relaxations == 1
+
+    def test_history_records_every_step(self):
+        handler = FakeHandler(deadline=100.0)
+        controller = AdaptiveQoSController(handler, relax_factor=2.0)
+        controller.relax()
+        controller.relax()
+        assert controller.history == [100.0, 200.0, 400.0]
+
+
+class TestTightening:
+    def test_tighten_moves_back_toward_original(self):
+        handler = FakeHandler(deadline=100.0)
+        controller = AdaptiveQoSController(
+            handler, relax_factor=2.0, tighten_factor=0.5
+        )
+        controller.relax()  # 200
+        spec = controller.try_tighten()  # back to 100
+        assert spec.deadline_ms == pytest.approx(100.0)
+        assert not controller.exhausted
+
+    def test_tighten_stops_at_min(self):
+        handler = FakeHandler(deadline=100.0)
+        controller = AdaptiveQoSController(handler)
+        assert controller.try_tighten() is None  # already at the floor
+
+
+class TestEndToEnd:
+    def test_controller_rescues_impossible_spec(self):
+        from repro.workload.scenarios import Scenario, ScenarioConfig
+
+        scenario = Scenario(ScenarioConfig(seed=5))
+        # Impossible: 40 ms deadline against ~100 ms service times.
+        holder = {}
+
+        def callback(service, observed, spec):
+            holder["controller"].on_violation(service, observed, spec)
+
+        client = scenario.add_client(
+            "client-1",
+            QoSSpec(scenario.config.service, 40.0, 0.9),
+            num_requests=60,
+            violation_callback=callback,
+        )
+        handler = scenario.handlers["client-1"]
+        holder["controller"] = AdaptiveQoSController(
+            handler, relax_factor=2.0, max_deadline_ms=400.0
+        )
+        scenario.run_to_completion()
+        controller = holder["controller"]
+        assert controller.relaxations >= 1
+        assert handler.qos.deadline_ms > 40.0
+        # After relaxation, the tail of the run meets the adopted spec.
+        tail = client.outcomes[-20:]
+        late = sum(1 for o in tail if not o.timely)
+        assert late / len(tail) <= 0.1

@@ -1,0 +1,134 @@
+"""Unit tests for the gateway information repository."""
+
+import pytest
+
+from repro.core.repository import InformationRepository, ReplicaRecord, SlidingWindow
+
+
+class TestSlidingWindow:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(0)
+
+    def test_appends_until_capacity(self):
+        window = SlidingWindow(3)
+        for value in (1.0, 2.0, 3.0):
+            window.append(value)
+        assert window.values() == [1.0, 2.0, 3.0]
+        assert window.full
+
+    def test_oldest_evicted_when_full(self):
+        window = SlidingWindow(3)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            window.append(value)
+        assert window.values() == [2.0, 3.0, 4.0]
+
+    def test_negative_measurement_rejected(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(3).append(-1.0)
+
+    def test_version_bumps_on_append(self):
+        window = SlidingWindow(3)
+        v0 = window.version
+        window.append(1.0)
+        assert window.version == v0 + 1
+
+    def test_clear(self):
+        window = SlidingWindow(3)
+        window.append(1.0)
+        window.clear()
+        assert len(window) == 0
+        assert not window.full
+
+
+class TestReplicaRecord:
+    def test_no_history_initially(self):
+        record = ReplicaRecord("r1", window_size=5)
+        assert not record.has_history
+
+    def test_history_needs_all_three_sources(self):
+        record = ReplicaRecord("r1", window_size=5)
+        record.record_performance(100.0, 5.0, 1, now_ms=0.0)
+        assert not record.has_history  # gateway delay still missing
+        record.record_gateway_delay(3.0, now_ms=1.0)
+        assert record.has_history
+
+    def test_negative_gateway_delay_clamped(self):
+        record = ReplicaRecord("r1", window_size=5)
+        record.record_gateway_delay(-0.4, now_ms=0.0)
+        assert record.gateway_delay_ms == 0.0
+
+    def test_negative_queue_length_rejected(self):
+        record = ReplicaRecord("r1", window_size=5)
+        with pytest.raises(ValueError):
+            record.record_performance(1.0, 1.0, -1, now_ms=0.0)
+
+    def test_version_covers_both_update_kinds(self):
+        record = ReplicaRecord("r1", window_size=5)
+        v0 = record.version
+        record.record_performance(1.0, 1.0, 0, now_ms=0.0)
+        v1 = record.version
+        record.record_gateway_delay(3.0, now_ms=1.0)
+        v2 = record.version
+        assert v0 < v1 < v2
+
+
+class TestInformationRepository:
+    def test_window_size_validation(self):
+        with pytest.raises(ValueError):
+            InformationRepository(window_size=0)
+
+    def test_add_is_idempotent(self):
+        repo = InformationRepository()
+        first = repo.add_replica("r1")
+        assert repo.add_replica("r1") is first
+        assert len(repo) == 1
+
+    def test_remove_is_idempotent(self):
+        repo = InformationRepository()
+        repo.add_replica("r1")
+        repo.remove_replica("r1")
+        repo.remove_replica("r1")
+        assert "r1" not in repo
+
+    def test_record_unknown_replica_raises(self):
+        with pytest.raises(KeyError):
+            InformationRepository().record("ghost")
+
+    def test_replicas_sorted(self):
+        repo = InformationRepository()
+        for name in ("r3", "r1", "r2"):
+            repo.add_replica(name)
+        assert repo.replicas() == ["r1", "r2", "r3"]
+
+    def test_sync_members_adds_and_drops(self):
+        repo = InformationRepository()
+        repo.add_replica("r1")
+        repo.add_replica("r2")
+        repo.sync_members(["r2", "r3"])
+        assert repo.replicas() == ["r2", "r3"]
+
+    def test_sync_preserves_existing_history(self):
+        repo = InformationRepository()
+        repo.record_performance("r1", 100.0, 5.0, 1, now_ms=0.0)
+        repo.record_gateway_delay("r1", 3.0, now_ms=0.0)
+        repo.sync_members(["r1", "r2"])
+        assert repo.record("r1").has_history
+        assert not repo.record("r2").has_history
+
+    def test_windows_use_configured_size(self):
+        repo = InformationRepository(window_size=2)
+        for i in range(5):
+            repo.record_performance("r1", float(i), 0.0, 0, now_ms=float(i))
+        assert repo.record("r1").service_times.values() == [3.0, 4.0]
+
+    def test_replicas_with_history(self):
+        repo = InformationRepository()
+        repo.record_performance("r1", 100.0, 5.0, 1, now_ms=0.0)
+        repo.record_gateway_delay("r1", 3.0, now_ms=0.0)
+        repo.add_replica("r2")
+        assert repo.replicas_with_history() == ["r1"]
+        assert not repo.all_have_history()
+
+    def test_all_have_history_empty_repo_is_false(self):
+        assert not InformationRepository().all_have_history()

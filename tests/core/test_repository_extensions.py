@@ -1,0 +1,76 @@
+"""Tests for the repository's §8-extension features."""
+
+import math
+
+import pytest
+
+from repro.core.estimator import ResponseTimeEstimator
+from repro.core.repository import InformationRepository, ReplicaRecord
+
+
+class TestGatewayDelayWindow:
+    def test_disabled_by_default(self):
+        record = ReplicaRecord("r1", window_size=5)
+        assert record.gateway_delays is None
+
+    def test_window_records_recent_delays(self):
+        record = ReplicaRecord("r1", window_size=5, gateway_window_size=3)
+        for delay in (1.0, 2.0, 3.0, 4.0):
+            record.record_gateway_delay(delay, now_ms=0.0)
+        assert record.gateway_delays.values() == [2.0, 3.0, 4.0]
+        assert record.gateway_delay_ms == 4.0  # last value kept too
+
+    def test_repository_passes_window_size_down(self):
+        repo = InformationRepository(window_size=5, gateway_window_size=2)
+        repo.record_gateway_delay("r1", 1.0, now_ms=0.0)
+        repo.record_gateway_delay("r1", 2.0, now_ms=1.0)
+        repo.record_gateway_delay("r1", 3.0, now_ms=2.0)
+        assert repo.record("r1").gateway_delays.values() == [2.0, 3.0]
+
+    def test_gateway_window_size_validation(self):
+        with pytest.raises(ValueError):
+            InformationRepository(gateway_window_size=0)
+
+    def test_estimator_uses_window_distribution(self):
+        repo = InformationRepository(window_size=5, gateway_window_size=4)
+        for _ in range(5):
+            repo.record_performance("r1", 100.0, 0.0, 0, now_ms=0.0)
+        for delay in (0.0, 0.0, 20.0, 20.0):
+            repo.record_gateway_delay("r1", delay, now_ms=0.0)
+        pmf = ResponseTimeEstimator(repo).response_time_pmf("r1")
+        # T is bimodal {0, 20}: the response pmf must have both atoms.
+        assert pmf.support_size == 2
+        assert pmf.mean() == pytest.approx(110.0)
+        assert pmf.cdf(100.0) == pytest.approx(0.5)
+
+    def test_estimator_falls_back_to_last_value_without_window(self):
+        repo = InformationRepository(window_size=5)
+        for _ in range(5):
+            repo.record_performance("r1", 100.0, 0.0, 0, now_ms=0.0)
+        repo.record_gateway_delay("r1", 0.0, now_ms=0.0)
+        repo.record_gateway_delay("r1", 20.0, now_ms=1.0)
+        pmf = ResponseTimeEstimator(repo).response_time_pmf("r1")
+        assert pmf.support_size == 1
+        assert pmf.mean() == pytest.approx(120.0)  # only the last T
+
+
+class TestStaleness:
+    def test_never_updated_record_is_infinitely_stale(self):
+        record = ReplicaRecord("r1", window_size=5)
+        assert math.isinf(record.staleness(now_ms=100.0))
+
+    def test_staleness_measures_age(self):
+        record = ReplicaRecord("r1", window_size=5)
+        record.record_performance(10.0, 0.0, 0, now_ms=50.0)
+        assert record.staleness(now_ms=80.0) == pytest.approx(30.0)
+
+    def test_gateway_delay_also_freshens(self):
+        record = ReplicaRecord("r1", window_size=5)
+        record.record_performance(10.0, 0.0, 0, now_ms=50.0)
+        record.record_gateway_delay(3.0, now_ms=70.0)
+        assert record.staleness(now_ms=80.0) == pytest.approx(10.0)
+
+    def test_staleness_never_negative(self):
+        record = ReplicaRecord("r1", window_size=5)
+        record.record_performance(10.0, 0.0, 0, now_ms=50.0)
+        assert record.staleness(now_ms=40.0) == 0.0

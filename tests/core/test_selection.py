@@ -1,0 +1,207 @@
+"""Unit tests for Algorithm 1 and the dynamic selection policy."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import ResponseTimeEstimator
+from repro.core.model import subset_timeliness_probability
+from repro.core.qos import QoSSpec
+from repro.core.repository import InformationRepository
+from repro.core.selection import (
+    DynamicSelectionPolicy,
+    ReplicaProbability,
+    SelectionContext,
+    select_replicas,
+)
+
+
+def _candidates(probabilities):
+    return [
+        ReplicaProbability(f"r{i + 1}", p) for i, p in enumerate(probabilities)
+    ]
+
+
+class TestSelectReplicas:
+    def test_needs_candidates(self):
+        with pytest.raises(ValueError):
+            select_replicas([], 0.5)
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            select_replicas(_candidates([0.5]), 1.5)
+        with pytest.raises(ValueError):
+            ReplicaProbability("r1", -0.2)
+
+    def test_minimum_selection_is_two_replicas(self):
+        # Pc = 0 is satisfied by any single replica in X, plus the
+        # protected best: Algorithm 1's floor of 2 (paper §6).
+        result = select_replicas(_candidates([0.9, 0.8, 0.7]), 0.0)
+        assert result.redundancy == 2
+        assert not result.used_fallback
+
+    def test_best_replica_always_included_first(self):
+        result = select_replicas(_candidates([0.2, 0.95, 0.5]), 0.0)
+        assert result.selected[0] == "r2"  # highest probability
+
+    def test_acceptance_test_excludes_best_member(self):
+        # Best = 0.99 but X must reach 0.9 alone: one 0.5 is not enough,
+        # so X = {0.5, 0.5, 0.5} (1 - 0.125 = 0.875 < 0.9 -> need 4th).
+        result = select_replicas(
+            _candidates([0.99, 0.5, 0.5, 0.5, 0.5]), 0.9
+        )
+        crash_set = [name for name in result.selected if name != "r1"]
+        probs = {"r2": 0.5, "r3": 0.5, "r4": 0.5, "r5": 0.5}
+        achieved = subset_timeliness_probability(
+            probs[name] for name in crash_set
+        )
+        assert achieved >= 0.9
+        assert "r1" in result.selected
+
+    def test_crash_safe_probability_matches_reported(self):
+        result = select_replicas(_candidates([0.9, 0.8, 0.7, 0.6]), 0.9)
+        crash_set = result.selected[1:]
+        probs = {"r1": 0.9, "r2": 0.8, "r3": 0.7, "r4": 0.6}
+        expected = subset_timeliness_probability(probs[n] for n in crash_set)
+        assert result.crash_safe_probability == pytest.approx(expected)
+        assert result.crash_safe_probability >= 0.9
+
+    def test_single_crash_guarantee_holds_for_any_member(self):
+        # Equation 3: remove ANY one member of K; the rest still meet Pc.
+        probabilities = [0.85, 0.7, 0.6, 0.55, 0.4]
+        target = 0.8
+        result = select_replicas(_candidates(probabilities), target)
+        assert not result.used_fallback
+        prob_map = {c.name: c.probability for c in _candidates(probabilities)}
+        for excluded in result.selected:
+            rest = [prob_map[n] for n in result.selected if n != excluded]
+            assert subset_timeliness_probability(rest) >= target - 1e-12
+
+    def test_fallback_returns_all_replicas(self):
+        result = select_replicas(_candidates([0.3, 0.2, 0.1]), 0.999)
+        assert result.used_fallback
+        assert set(result.selected) == {"r1", "r2", "r3"}
+
+    def test_fallback_orders_by_probability(self):
+        result = select_replicas(_candidates([0.1, 0.3, 0.2]), 0.999)
+        assert result.selected == ("r2", "r3", "r1")
+
+    def test_single_candidate_falls_back_to_itself(self):
+        result = select_replicas(_candidates([0.99]), 0.5)
+        assert result.used_fallback
+        assert result.selected == ("r1",)
+
+    def test_never_selects_more_than_needed(self):
+        # With Pc = 0.5 and replicas at 0.8, one X member suffices.
+        result = select_replicas(_candidates([0.9, 0.8, 0.8, 0.8]), 0.5)
+        assert result.redundancy == 2
+
+    def test_ties_break_deterministically_by_name(self):
+        result = select_replicas(_candidates([0.5, 0.5, 0.5]), 0.0)
+        assert result.selected == ("r1", "r2")
+
+    def test_crash_tolerance_zero_skips_protection(self):
+        result = select_replicas(_candidates([0.9, 0.8]), 0.5, crash_tolerance=0)
+        assert result.selected == ("r1",)
+        assert result.crash_safe_probability == pytest.approx(0.9)
+
+    def test_crash_tolerance_two_protects_two_best(self):
+        result = select_replicas(
+            _candidates([0.9, 0.9, 0.8, 0.8, 0.7]), 0.8, crash_tolerance=2
+        )
+        assert not result.used_fallback
+        assert "r1" in result.selected and "r2" in result.selected
+        # Removing the two protected members must still meet the target.
+        prob_map = {"r3": 0.8, "r4": 0.8, "r5": 0.7}
+        rest = [
+            prob_map[n] for n in result.selected if n in prob_map
+        ]
+        assert subset_timeliness_probability(rest) >= 0.8
+
+    def test_crash_tolerance_validation(self):
+        with pytest.raises(ValueError):
+            select_replicas(_candidates([0.5]), 0.5, crash_tolerance=-1)
+
+    def test_full_probability_reported(self):
+        result = select_replicas(_candidates([0.5, 0.5]), 0.0)
+        assert result.full_probability == pytest.approx(0.75)
+
+
+class TestDynamicSelectionPolicy:
+    def _context(self, repo, deadline=120.0, min_probability=0.9):
+        estimator = ResponseTimeEstimator(repo)
+        return SelectionContext(
+            replicas=repo.replicas(),
+            estimator=estimator,
+            qos=QoSSpec("svc", deadline, min_probability),
+            now_ms=0.0,
+            rng=np.random.default_rng(0),
+        )
+
+    def _loaded_repo(self, means):
+        repo = InformationRepository(window_size=5)
+        for name, mean in means.items():
+            for _ in range(5):
+                repo.record_performance(name, mean, 0.0, 0, now_ms=0.0)
+            repo.record_gateway_delay(name, 3.0, now_ms=0.0)
+        return repo
+
+    def test_bootstrap_selects_all_when_history_missing(self):
+        repo = InformationRepository()
+        repo.add_replica("r1")
+        repo.add_replica("r2")
+        policy = DynamicSelectionPolicy()
+        decision = policy.decide(self._context(repo))
+        assert set(decision.selected) == {"r1", "r2"}
+        assert decision.meta["bootstrap"] is True
+
+    def test_partial_history_also_bootstraps(self):
+        repo = self._loaded_repo({"r1": 100.0})
+        repo.add_replica("r2")  # nothing recorded
+        decision = DynamicSelectionPolicy().decide(self._context(repo))
+        assert set(decision.selected) == {"r1", "r2"}
+        assert decision.meta["bootstrap"] is True
+
+    def test_selects_fast_replicas_for_tight_deadline(self):
+        repo = self._loaded_repo({"fast-1": 50.0, "fast-2": 60.0, "slow": 500.0})
+        decision = DynamicSelectionPolicy().decide(self._context(repo))
+        assert decision.meta["bootstrap"] is False
+        assert "slow" not in decision.selected
+        assert set(decision.selected) == {"fast-1", "fast-2"}
+
+    def test_overhead_compensation_tightens_deadline(self):
+        repo = self._loaded_repo({"r1": 100.0, "r2": 100.0})
+        policy = DynamicSelectionPolicy(
+            compensate_overhead=True, fixed_overhead_ms=5.0
+        )
+        decision = policy.decide(self._context(repo, deadline=107.0))
+        # Effective deadline 102.0: response times are 103 -> F = 0.
+        assert decision.meta["effective_deadline_ms"] == pytest.approx(102.0)
+        assert decision.meta["fallback"] is True
+
+    def test_without_compensation_deadline_unchanged(self):
+        repo = self._loaded_repo({"r1": 100.0, "r2": 100.0})
+        policy = DynamicSelectionPolicy(compensate_overhead=False)
+        decision = policy.decide(self._context(repo, deadline=107.0))
+        assert decision.meta["effective_deadline_ms"] == pytest.approx(107.0)
+        assert decision.meta["fallback"] is False
+
+    def test_overhead_is_measured_each_decision(self):
+        repo = self._loaded_repo({"r1": 100.0})
+        policy = DynamicSelectionPolicy()
+        assert policy.last_overhead_ms == 0.0
+        policy.decide(self._context(repo))
+        assert policy.last_overhead_ms > 0.0
+
+    def test_negative_fixed_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicSelectionPolicy(fixed_overhead_ms=-1.0)
+
+    def test_decision_meta_has_probabilities(self):
+        repo = self._loaded_repo({"r1": 50.0, "r2": 60.0})
+        decision = DynamicSelectionPolicy().decide(self._context(repo))
+        assert set(decision.meta["probabilities"]) == {"r1", "r2"}
+
+    def test_empty_replica_list_returns_empty(self):
+        repo = InformationRepository()
+        decision = DynamicSelectionPolicy().decide(self._context(repo))
+        assert decision.selected == ()

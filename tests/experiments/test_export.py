@@ -1,0 +1,45 @@
+"""Tests for the CSV figure-data exporter."""
+
+import csv
+
+import pytest
+
+from repro.experiments.export import export_all, write_csv
+
+
+def test_write_csv_roundtrip(tmp_path):
+    path = tmp_path / "t.csv"
+    count = write_csv(path, ["a", "b"], [(1, 2.5), ("x", "y")])
+    assert count == 2
+    with open(path) as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == ["a", "b"]
+    assert rows[1] == ["1", "2.5"]
+
+
+def test_export_all_quick(tmp_path):
+    written = export_all(tmp_path / "figures", quick=True)
+    names = {p.name for p in written}
+    assert names == {
+        "fig3_overhead.csv",
+        "fig4_replicas_selected.csv",
+        "fig5_timing_failures.csv",
+        "min_response.csv",
+        "policy_comparison.csv",
+    }
+    for path in written:
+        assert path.exists()
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) >= 2  # header + at least one data row
+
+
+def test_fig4_csv_has_full_sweep(tmp_path):
+    written = export_all(tmp_path, quick=True)
+    fig4 = next(p for p in written if p.name == "fig4_replicas_selected.csv")
+    with open(fig4) as handle:
+        rows = list(csv.DictReader(handle))
+    # 6 deadlines x 3 probabilities.
+    assert len(rows) == 18
+    probabilities = {row["min_probability"] for row in rows}
+    assert probabilities == {"0.9", "0.5", "0.0"}

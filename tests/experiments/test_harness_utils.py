@@ -1,0 +1,39 @@
+"""Unit tests for the experiment harness utilities."""
+
+import pytest
+
+from repro.experiments.harness import average, format_table
+
+
+def test_average():
+    assert average([1.0, 2.0, 3.0]) == 2.0
+
+
+def test_average_rejects_empty():
+    with pytest.raises(ValueError):
+        average([])
+
+
+def test_format_table_alignment():
+    table = format_table(
+        ["name", "value"],
+        [("alpha", 1.5), ("b", 20.25)],
+    )
+    lines = table.splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    assert "name" in lines[0] and "value" in lines[0]
+    assert "alpha" in lines[2]
+    assert "1.500" in lines[2]
+    assert "20.250" in lines[3]
+
+
+def test_format_table_floats_rounded_to_three_places():
+    table = format_table(["x"], [(0.123456,)])
+    assert "0.123" in table
+    assert "0.1234" not in table
+
+
+def test_format_table_non_floats_pass_through():
+    table = format_table(["x"], [("text",), (7,)])
+    assert "text" in table
+    assert "7" in table

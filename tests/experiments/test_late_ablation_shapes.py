@@ -1,0 +1,88 @@
+"""Shape tests for ablations A12-A14 (reduced sweeps)."""
+
+import pytest
+
+from repro.experiments import adaptation_timeline, colocation, retransmission
+
+
+class TestColocationShape:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            r.policy: r for r in colocation.run(seeds=(0,), num_requests=25)
+        }
+
+    def test_dynamic_avoids_noisy_hosts(self, results):
+        assert (
+            results["dynamic (paper)"].noisy_host_share
+            < results["random-2 (load-blind)"].noisy_host_share
+        )
+
+    def test_dynamic_meets_budget(self, results):
+        assert results["dynamic (paper)"].failure_probability <= 0.1
+
+
+class TestRetransmissionShape:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        points = retransmission.run(
+            deadlines_ms=(140.0,), seeds=(0,), num_requests=25
+        )
+        return {(p.strategy, p.deadline_ms): p for p in points}
+
+    def test_retry_worse_at_tight_deadline(self, cells):
+        dynamic = cells[("dynamic (paper)", 140.0)]
+        retry = cells[("retransmit (related work)", 140.0)]
+        assert retry.failure_probability >= dynamic.failure_probability
+
+    def test_retry_sends_fewer_messages(self, cells):
+        dynamic = cells[("dynamic (paper)", 140.0)]
+        retry = cells[("retransmit (related work)", 140.0)]
+        assert retry.messages_per_request < dynamic.messages_per_request
+
+
+class TestAdaptationTimelineShape:
+    @pytest.fixture(scope="class")
+    def buckets(self):
+        return adaptation_timeline.run(seed=0)
+
+    def test_dynamic_masks_crash_window(self, buckets):
+        crash = [
+            b for b in buckets
+            if b.policy == "dynamic (paper)" and b.start_ms == 10_000.0
+        ][0]
+        assert crash.failures == 0
+        assert crash.timeouts == 0
+
+    def test_single_fastest_suffers_in_crash_window(self, buckets):
+        crash = [
+            b for b in buckets
+            if b.policy == "single-fastest" and b.start_ms == 10_000.0
+        ][0]
+        assert crash.failures + crash.timeouts >= 1
+
+    def test_timeline_covers_horizon(self, buckets):
+        dynamic = [b for b in buckets if b.policy == "dynamic (paper)"]
+        assert dynamic[0].start_ms == 0.0
+        assert dynamic[-1].end_ms == 30_000.0
+        assert sum(b.requests for b in dynamic) > 0
+
+
+class TestRunAllWiring:
+    def test_every_entry_is_runnable(self):
+        from repro.experiments.run_all import ALL_EXPERIMENTS
+
+        for label, module in ALL_EXPERIMENTS:
+            if module is None:
+                continue  # the lazily imported crash_tolerance entry
+            assert hasattr(module, "main"), label
+            assert hasattr(module, "run"), label
+
+    def test_quick_flag_parses(self):
+        import argparse
+
+        from repro.experiments import run_all
+
+        parser = argparse.ArgumentParser()
+        parser.add_argument("--quick", action="store_true")
+        assert parser.parse_args(["--quick"]).quick

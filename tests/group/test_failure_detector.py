@@ -1,0 +1,91 @@
+"""Unit tests for the heartbeat-style failure detector."""
+
+import pytest
+
+from repro.group.failure_detector import FailureDetector
+
+
+@pytest.fixture
+def detector(sim, lan):
+    return FailureDetector(sim, lan, poll_interval_ms=10.0, confirm_polls=2)
+
+
+def test_constructor_validation(sim, lan):
+    with pytest.raises(ValueError):
+        FailureDetector(sim, lan, poll_interval_ms=0.0)
+    with pytest.raises(ValueError):
+        FailureDetector(sim, lan, confirm_polls=0)
+
+
+def test_watch_requires_known_host(detector):
+    with pytest.raises(KeyError):
+        detector.watch("ghost")
+
+
+def test_up_host_is_never_declared(sim, detector):
+    detector.watch("server-1")
+    sim.run(until=500.0)
+    assert not detector.is_declared_crashed("server-1")
+
+
+def test_crash_detected_within_latency_bound(sim, lan, detector):
+    detector.watch("server-1")
+    crashes = []
+    detector.on_crash(crashes.append)
+    sim.call_in(25.0, lambda: lan.mark_down("server-1"))
+    sim.run(until=200.0)
+    assert crashes == ["server-1"]
+    declared_at = detector.declared_crashes()["server-1"]
+    assert 25.0 < declared_at <= 25.0 + detector.detection_latency_ms
+
+
+def test_transient_blip_not_declared(sim, lan, detector):
+    # Down for less than one poll interval: never observed down twice.
+    detector.watch("server-1")
+    sim.call_in(11.0, lambda: lan.mark_down("server-1"))
+    sim.call_in(14.0, lambda: lan.mark_up("server-1"))
+    sim.run(until=200.0)
+    assert not detector.is_declared_crashed("server-1")
+
+
+def test_crash_declared_only_once(sim, lan, detector):
+    detector.watch("server-1")
+    crashes = []
+    detector.on_crash(crashes.append)
+    lan.mark_down("server-1")
+    sim.run(until=300.0)
+    assert crashes == ["server-1"]
+
+
+def test_recovery_clears_declaration(sim, lan, detector):
+    detector.watch("server-1")
+    lan.mark_down("server-1")
+    sim.run(until=100.0)
+    assert detector.is_declared_crashed("server-1")
+    lan.mark_up("server-1")
+    sim.run(until=200.0)
+    assert not detector.is_declared_crashed("server-1")
+
+
+def test_unwatch_stops_detection(sim, lan, detector):
+    detector.watch("server-1")
+    detector.unwatch("server-1")
+    lan.mark_down("server-1")
+    sim.run(until=200.0)
+    assert not detector.is_declared_crashed("server-1")
+
+
+def test_watch_is_idempotent(sim, lan, detector):
+    detector.watch("server-1")
+    detector.watch("server-1")
+    crashes = []
+    detector.on_crash(crashes.append)
+    lan.mark_down("server-1")
+    sim.run(until=200.0)
+    assert crashes == ["server-1"]  # not double-declared by two poll loops
+
+
+def test_polling_does_not_keep_unbounded_run_alive(sim, detector):
+    detector.watch("server-1")
+    sim.run()  # must terminate: polls are daemon events
+    assert sim.now == 0.0

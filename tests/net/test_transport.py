@@ -1,0 +1,111 @@
+"""Unit tests for the transport layer."""
+
+import pytest
+
+from repro.net.message import Message
+
+
+def _msg(dest="server-1", **overrides):
+    base = dict(sender="client-1", destination=dest, kind="request", payload={})
+    base.update(overrides)
+    return Message(**base)
+
+
+class TestBinding:
+    def test_bind_requires_known_host(self, transport):
+        with pytest.raises(KeyError):
+            transport.bind("ghost", lambda m: None)
+
+    def test_double_bind_rejected(self, transport):
+        transport.bind("server-1", lambda m: None)
+        with pytest.raises(ValueError):
+            transport.bind("server-1", lambda m: None)
+
+    def test_unbind_is_idempotent(self, transport):
+        transport.bind("server-1", lambda m: None)
+        transport.unbind("server-1")
+        transport.unbind("server-1")
+        assert not transport.is_bound("server-1")
+
+
+class TestDelivery:
+    def test_message_arrives_after_positive_delay(self, sim, transport):
+        inbox = []
+        transport.bind("server-1", inbox.append)
+        delay = transport.send(_msg())
+        assert delay > 0
+        assert inbox == []  # not yet delivered
+        sim.run()
+        assert len(inbox) == 1
+        assert sim.now == pytest.approx(delay)
+
+    def test_delivery_to_down_host_is_dropped(self, sim, lan, transport):
+        inbox = []
+        transport.bind("server-1", inbox.append)
+        lan.mark_down("server-1")
+        transport.send(_msg())
+        sim.run()
+        assert inbox == []
+        assert transport.dropped_count == 1
+
+    def test_host_crashing_in_flight_drops_delivery(self, sim, lan, transport):
+        inbox = []
+        transport.bind("server-1", inbox.append)
+        transport.send(_msg())
+        # Crash before the in-flight message lands.
+        lan.mark_down("server-1")
+        sim.run()
+        assert inbox == []
+        assert transport.dropped_count == 1
+
+    def test_unbound_destination_is_dropped(self, sim, transport):
+        transport.send(_msg(dest="server-2"))
+        sim.run()
+        assert transport.dropped_count == 1
+
+    def test_counters(self, sim, transport):
+        transport.bind("server-1", lambda m: None)
+        transport.send(_msg())
+        transport.send(_msg())
+        sim.run()
+        assert transport.sent_count == 2
+        assert transport.delivered_count == 2
+        assert transport.dropped_count == 0
+
+
+class TestMulticast:
+    def test_multicast_reaches_every_destination(self, sim, transport):
+        received = []
+        transport.bind("server-1", lambda m: received.append(("s1", m)))
+        transport.bind("server-2", lambda m: received.append(("s2", m)))
+        delays = transport.multicast(_msg(dest=""), ["server-1", "server-2"])
+        assert len(delays) == 2
+        sim.run()
+        assert sorted(tag for tag, _m in received) == ["s1", "s2"]
+        # All copies share one logical message id.
+        ids = {m.msg_id for _tag, m in received}
+        assert len(ids) == 1
+
+    def test_multicast_requires_destinations(self, transport):
+        with pytest.raises(ValueError):
+            transport.multicast(_msg(), [])
+
+    def test_multicast_charges_group_overhead(self, sim, lan, streams, tracer):
+        # With deterministic jitter, a bigger destination set means a
+        # strictly larger per-copy delay.
+        from repro.net.lan import LanModel, LinkProfile
+        from repro.net.transport import Transport
+        from repro.sim.random import Constant
+
+        profile = LinkProfile(
+            stack_ms=1.0, per_kb_ms=0.0, per_member_ms=0.5, jitter=Constant(0.0)
+        )
+        quiet = LanModel(streams, default_profile=profile)
+        for name in ("c", "s1", "s2", "s3"):
+            quiet.add_host(name)
+        transport2 = Transport(sim, quiet)
+        msg = Message(sender="c", destination="", kind="request")
+        solo = transport2.multicast(msg, ["s1"])
+        trio = transport2.multicast(msg, ["s1", "s2", "s3"])
+        assert solo[0] == pytest.approx(1.0)
+        assert all(d == pytest.approx(2.0) for d in trio)

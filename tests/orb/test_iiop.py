@@ -1,0 +1,54 @@
+"""Unit tests for the marshalling cost model."""
+
+import pytest
+
+from repro.orb.iiop import MarshallingModel
+from repro.orb.object import MethodRequest, MethodSignature
+
+
+@pytest.fixture
+def model():
+    return MarshallingModel(base_ms=0.1, per_kb_ms=1.0, envelope_bytes=100)
+
+
+@pytest.fixture
+def signature():
+    return MethodSignature("process", request_bytes=924, reply_bytes=412)
+
+
+def test_marshal_request_size_and_cost(model, signature):
+    request = MethodRequest("search", "process", (1,))
+    call, cost = model.marshal_request(request, signature)
+    assert call.size_bytes == 1024  # 924 + 100 envelope
+    assert cost == pytest.approx(0.1 + 1.0)  # base + 1 KB
+    assert call.request is request
+
+
+def test_demarshal_request_roundtrip(model, signature):
+    request = MethodRequest("search", "process", (1,))
+    call, _cost = model.marshal_request(request, signature)
+    decoded, cost = model.demarshal_request(call)
+    assert decoded is request
+    assert cost > 0
+
+
+def test_marshal_reply_roundtrip(model, signature):
+    reply, cost = model.marshal_reply(42, signature)
+    assert reply.size_bytes == 512
+    assert cost == pytest.approx(0.1 + 0.5)
+    value, _cost = model.demarshal_reply(reply)
+    assert value == 42
+
+
+def test_bigger_messages_cost_more(model):
+    small = MethodSignature("m", request_bytes=10)
+    large = MethodSignature("m", request_bytes=10_000)
+    request = MethodRequest("s", "m")
+    _call_s, cost_s = model.marshal_request(request, small)
+    _call_l, cost_l = model.marshal_request(request, large)
+    assert cost_l > cost_s
+
+
+def test_negative_parameters_rejected():
+    with pytest.raises(ValueError):
+        MarshallingModel(base_ms=-0.1)

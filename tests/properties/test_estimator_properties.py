@@ -1,0 +1,91 @@
+"""Property-based tests for the response-time estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimator import ResponseTimeEstimator
+from repro.core.repository import InformationRepository
+
+service_samples = st.lists(
+    st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+    min_size=1,
+    max_size=10,
+)
+queue_samples = st.lists(
+    st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+    min_size=1,
+    max_size=10,
+)
+gateway_delays = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+
+
+def _repo(service, queue, gateway):
+    repo = InformationRepository(window_size=10)
+    record = repo.add_replica("r1")
+    for s in service:
+        record.service_times.append(s)
+    for q in queue:
+        record.queue_delays.append(q)
+    record.record_gateway_delay(gateway, now_ms=0.0)
+    return repo
+
+
+@given(service_samples, queue_samples, gateway_delays)
+def test_cdf_monotone_in_deadline(service, queue, gateway):
+    estimator = ResponseTimeEstimator(_repo(service, queue, gateway))
+    deadlines = np.linspace(0.0, 800.0, 20)
+    probabilities = [estimator.probability_by("r1", t) for t in deadlines]
+    assert all(
+        a <= b + 1e-9 for a, b in zip(probabilities, probabilities[1:])
+    )
+
+
+@given(service_samples, queue_samples, gateway_delays)
+def test_probability_in_unit_interval(service, queue, gateway):
+    estimator = ResponseTimeEstimator(_repo(service, queue, gateway))
+    for t in (0.0, 50.0, 200.0, 1e6):
+        p = estimator.probability_by("r1", t)
+        assert 0.0 <= p <= 1.0
+
+
+@given(service_samples, queue_samples, gateway_delays)
+def test_certain_beyond_worst_case(service, queue, gateway):
+    estimator = ResponseTimeEstimator(_repo(service, queue, gateway))
+    worst = max(service) + max(queue) + gateway
+    assert estimator.probability_by("r1", worst + 2.0) == 1.0
+
+
+@given(service_samples, queue_samples, gateway_delays)
+def test_impossible_before_best_case(service, queue, gateway):
+    estimator = ResponseTimeEstimator(_repo(service, queue, gateway))
+    best = min(service) + min(queue) + gateway
+    if best > 2.0:
+        assert estimator.probability_by("r1", best - 2.0) == 0.0
+
+
+@given(service_samples, queue_samples, gateway_delays, gateway_delays)
+def test_larger_gateway_delay_never_raises_probability(
+    service, queue, g_small, g_large
+):
+    if g_small > g_large:
+        g_small, g_large = g_large, g_small
+    fast = ResponseTimeEstimator(_repo(service, queue, g_small))
+    slow = ResponseTimeEstimator(_repo(service, queue, g_large))
+    for t in (50.0, 150.0, 400.0):
+        assert (
+            slow.probability_by("r1", t)
+            <= fast.probability_by("r1", t) + 1e-9
+        )
+
+
+@given(service_samples, queue_samples, gateway_delays)
+def test_expected_response_is_sum_of_means(service, queue, gateway):
+    estimator = ResponseTimeEstimator(_repo(service, queue, gateway))
+    expected = (
+        sum(service) / len(service) + sum(queue) / len(queue) + gateway
+    )
+    assert estimator.expected_response_time("r1") == pytest.approx(
+        expected, abs=1.0
+    )

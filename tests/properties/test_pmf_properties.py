@@ -1,0 +1,108 @@
+"""Property-based tests for :class:`DiscretePMF` (hypothesis)."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distribution import DiscretePMF
+
+# Measurement-like samples: non-negative, bounded, millisecond scale.
+samples = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    min_size=1,
+    max_size=30,
+)
+bin_widths = st.sampled_from([0.5, 1.0, 2.0, 5.0])
+
+
+@given(samples, bin_widths)
+def test_probabilities_sum_to_one(values, bin_width):
+    pmf = DiscretePMF.from_samples(values, bin_width)
+    assert math.isclose(float(pmf.probs.sum()), 1.0, abs_tol=1e-9)
+
+
+@given(samples, bin_widths)
+def test_values_sorted_and_unique(values, bin_width):
+    pmf = DiscretePMF.from_samples(values, bin_width)
+    diffs = np.diff(pmf.values)
+    assert (diffs > 0).all()
+
+
+@given(samples)
+def test_cdf_is_monotone_nondecreasing(values):
+    pmf = DiscretePMF.from_samples(values)
+    points = np.linspace(pmf.min() - 5, pmf.max() + 5, 40)
+    cdfs = [pmf.cdf(t) for t in points]
+    assert all(a <= b + 1e-12 for a, b in zip(cdfs, cdfs[1:]))
+
+
+@given(samples)
+def test_cdf_limits(values):
+    pmf = DiscretePMF.from_samples(values)
+    assert pmf.cdf(pmf.min() - 1.0) == 0.0
+    assert math.isclose(pmf.cdf(pmf.max()), 1.0, abs_tol=1e-9)
+
+
+@given(samples, bin_widths)
+def test_mean_within_support(values, bin_width):
+    pmf = DiscretePMF.from_samples(values, bin_width)
+    assert pmf.min() - 1e-9 <= pmf.mean() <= pmf.max() + 1e-9
+
+
+@given(samples, samples)
+def test_convolution_mean_additive(a_values, b_values):
+    a = DiscretePMF.from_samples(a_values)
+    b = DiscretePMF.from_samples(b_values)
+    combined = a.convolve(b)
+    assert math.isclose(
+        combined.mean(), a.mean() + b.mean(), rel_tol=1e-9, abs_tol=1e-6
+    )
+
+
+@given(samples, samples)
+def test_convolution_support_bounds(a_values, b_values):
+    a = DiscretePMF.from_samples(a_values)
+    b = DiscretePMF.from_samples(b_values)
+    combined = a.convolve(b)
+    assert math.isclose(combined.min(), a.min() + b.min(), abs_tol=1e-6)
+    assert math.isclose(combined.max(), a.max() + b.max(), abs_tol=1e-6)
+
+
+@given(samples, samples)
+def test_convolution_commutative(a_values, b_values):
+    a = DiscretePMF.from_samples(a_values)
+    b = DiscretePMF.from_samples(b_values)
+    assert a.convolve(b).allclose(b.convolve(a), tol=1e-9)
+
+
+@given(samples, st.floats(min_value=-100.0, max_value=100.0, allow_nan=False))
+def test_shift_translates_cdf(values, delta):
+    pmf = DiscretePMF.from_samples(values)
+    shifted = pmf.shift(delta)
+    for t in np.linspace(pmf.min(), pmf.max(), 10):
+        assert math.isclose(
+            pmf.cdf(t), shifted.cdf(t + delta), abs_tol=1e-9
+        )
+
+
+@given(samples, samples)
+def test_variance_additive_under_convolution(a_values, b_values):
+    # Independence: Var(S + W) = Var(S) + Var(W).
+    a = DiscretePMF.from_samples(a_values)
+    b = DiscretePMF.from_samples(b_values)
+    combined = a.convolve(b)
+    assert math.isclose(
+        combined.variance(),
+        a.variance() + b.variance(),
+        rel_tol=1e-6,
+        abs_tol=1e-5,
+    )
+
+
+@given(samples, st.floats(min_value=0.0, max_value=1.0))
+def test_quantile_inverts_cdf(values, q):
+    pmf = DiscretePMF.from_samples(values)
+    value = pmf.quantile(q)
+    assert pmf.cdf(value) >= q - 1e-9

@@ -1,0 +1,119 @@
+"""Property-based tests for Algorithm 1 (hypothesis).
+
+These check the paper's claims for *every* input, not just examples:
+the single-crash guarantee (Equation 3), minimality, determinism and the
+fallback contract.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import subset_timeliness_probability
+from repro.core.selection import ReplicaProbability, select_replicas
+
+probabilities = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=1,
+    max_size=10,
+)
+targets = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def _candidates(probs):
+    return [ReplicaProbability(f"r{i}", p) for i, p in enumerate(probs)]
+
+
+@given(probabilities, targets)
+def test_selection_is_nonempty_subset(probs, target):
+    result = select_replicas(_candidates(probs), target)
+    assert 1 <= result.redundancy <= len(probs)
+    names = {f"r{i}" for i in range(len(probs))}
+    assert set(result.selected) <= names
+    assert len(set(result.selected)) == result.redundancy  # no duplicates
+
+
+@given(probabilities, targets)
+def test_accepted_sets_meet_target_without_best_member(probs, target):
+    result = select_replicas(_candidates(probs), target)
+    if result.used_fallback:
+        return
+    prob_map = {f"r{i}": p for i, p in enumerate(probs)}
+    rest = [prob_map[name] for name in result.selected[1:]]
+    assert subset_timeliness_probability(rest) >= target - 1e-9
+
+
+@given(probabilities, targets)
+def test_single_crash_guarantee(probs, target):
+    """Equation 3: remove ANY one member; the rest still meet Pc."""
+    result = select_replicas(_candidates(probs), target)
+    if result.used_fallback:
+        return
+    prob_map = {f"r{i}": p for i, p in enumerate(probs)}
+    for crashed in result.selected:
+        survivors = [
+            prob_map[name] for name in result.selected if name != crashed
+        ]
+        assert subset_timeliness_probability(survivors) >= target - 1e-9
+
+
+@given(probabilities, targets)
+def test_fallback_iff_no_subset_suffices(probs, target):
+    result = select_replicas(_candidates(probs), target)
+    best_excluded = subset_timeliness_probability(sorted(probs, reverse=True)[1:])
+    if result.used_fallback:
+        # Even all replicas minus the best cannot reach the target (up to
+        # float roundoff between this recomputation and the algorithm's
+        # running product).
+        assert best_excluded < target + 1e-9 or len(probs) == 1
+        assert set(result.selected) == {f"r{i}" for i in range(len(probs))}
+    else:
+        assert best_excluded >= target - 1e-9
+
+
+@given(probabilities, targets)
+def test_selection_is_deterministic(probs, target):
+    a = select_replicas(_candidates(probs), target)
+    b = select_replicas(_candidates(probs), target)
+    assert a.selected == b.selected
+
+
+@given(probabilities, targets)
+def test_selected_are_the_top_ranked_replicas(probs, target):
+    """Algorithm 1 consumes the sorted list prefix-first: the selected
+    set is always the top-|K| replicas by probability (ties by name)."""
+    result = select_replicas(_candidates(probs), target)
+    ranked = sorted(
+        _candidates(probs), key=lambda c: (-c.probability, c.name)
+    )
+    expected_prefix = tuple(c.name for c in ranked[: result.redundancy])
+    assert set(result.selected) == set(expected_prefix)
+
+
+@given(probabilities)
+def test_target_zero_selects_at_most_two(probs):
+    result = select_replicas(_candidates(probs), 0.0)
+    assert result.redundancy == min(2, len(probs))
+
+
+@given(probabilities, targets, st.integers(min_value=0, max_value=3))
+def test_k_crash_generalization(probs, target, k):
+    result = select_replicas(_candidates(probs), target, crash_tolerance=k)
+    if result.used_fallback:
+        return
+    prob_map = {f"r{i}": p for i, p in enumerate(probs)}
+    # Remove the k protected (best) members: the rest still meet Pc.
+    rest = [prob_map[name] for name in result.selected[k:]]
+    assert subset_timeliness_probability(rest) >= target - 1e-9
+
+
+@given(probabilities, targets)
+def test_reported_probabilities_are_consistent(probs, target):
+    result = select_replicas(_candidates(probs), target)
+    prob_map = {f"r{i}": p for i, p in enumerate(probs)}
+    full = subset_timeliness_probability(
+        prob_map[name] for name in result.selected
+    )
+    assert math.isclose(result.full_probability, full, abs_tol=1e-9)
+    assert result.full_probability >= result.crash_safe_probability - 1e-9

@@ -1,0 +1,77 @@
+"""Unit tests for fault injection."""
+
+import pytest
+
+from repro.replica.faults import CrashSchedule, FaultInjector
+
+
+class TestCrashSchedule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrashSchedule("h", crash_at_ms=-1.0)
+        with pytest.raises(ValueError):
+            CrashSchedule("h", crash_at_ms=10.0, recover_at_ms=10.0)
+
+    def test_recovery_optional(self):
+        schedule = CrashSchedule("h", crash_at_ms=10.0)
+        assert schedule.recover_at_ms is None
+
+
+class TestFaultInjector:
+    def test_scheduled_crash_marks_host_down(self, sim, lan):
+        injector = FaultInjector(sim, lan)
+        injector.schedule(CrashSchedule("server-1", crash_at_ms=50.0))
+        sim.run(until=40.0)
+        assert lan.is_up("server-1")
+        sim.run(until=60.0)
+        assert not lan.is_up("server-1")
+        assert injector.crashes_injected == 1
+
+    def test_recovery_brings_host_back(self, sim, lan):
+        injector = FaultInjector(sim, lan)
+        injector.schedule(
+            CrashSchedule("server-1", crash_at_ms=10.0, recover_at_ms=30.0)
+        )
+        sim.run(until=20.0)
+        assert not lan.is_up("server-1")
+        sim.run(until=40.0)
+        assert lan.is_up("server-1")
+        assert injector.recoveries_injected == 1
+
+    def test_hooks_run_at_crash_and_recovery(self, sim, lan):
+        injector = FaultInjector(sim, lan)
+        events = []
+        injector.on_crash("server-1", lambda: events.append(("crash", sim.now)))
+        injector.on_recover("server-1", lambda: events.append(("recover", sim.now)))
+        injector.schedule(
+            CrashSchedule("server-1", crash_at_ms=10.0, recover_at_ms=30.0)
+        )
+        sim.run(until=50.0)
+        assert events == [("crash", 10.0), ("recover", 30.0)]
+
+    def test_crash_is_idempotent(self, sim, lan):
+        injector = FaultInjector(sim, lan)
+        injector.crash_now("server-1")
+        injector.crash_now("server-1")
+        assert injector.crashes_injected == 1
+
+    def test_recover_without_crash_is_noop(self, sim, lan):
+        injector = FaultInjector(sim, lan)
+        injector.recover_now("server-1")
+        assert injector.recoveries_injected == 0
+
+    def test_unknown_host_rejected_at_schedule_time(self, sim, lan):
+        injector = FaultInjector(sim, lan)
+        with pytest.raises(KeyError):
+            injector.schedule(CrashSchedule("ghost", crash_at_ms=1.0))
+
+    def test_schedule_all(self, sim, lan):
+        injector = FaultInjector(sim, lan)
+        injector.schedule_all(
+            [
+                CrashSchedule("server-1", crash_at_ms=10.0),
+                CrashSchedule("server-2", crash_at_ms=20.0),
+            ]
+        )
+        sim.run(until=30.0)
+        assert injector.crashes_injected == 2

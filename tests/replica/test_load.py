@@ -1,0 +1,108 @@
+"""Unit tests for load models and service profiles."""
+
+import numpy as np
+import pytest
+
+from repro.replica.load import (
+    ConstantLoad,
+    PeriodicLoad,
+    ServiceProfile,
+    StepLoad,
+    paper_service_model,
+)
+from repro.sim.random import Constant, Normal
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestConstantLoad:
+    def test_fixed_factor(self):
+        assert ConstantLoad(2.0).factor(0.0) == 2.0
+        assert ConstantLoad(2.0).factor(1e9) == 2.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLoad(-1.0)
+
+
+class TestStepLoad:
+    def test_initial_factor_before_first_step(self):
+        load = StepLoad([(100.0, 3.0)], initial=1.0)
+        assert load.factor(50.0) == 1.0
+
+    def test_step_applies_from_start_time(self):
+        load = StepLoad([(100.0, 3.0)], initial=1.0)
+        assert load.factor(100.0) == 3.0
+        assert load.factor(500.0) == 3.0
+
+    def test_multiple_steps_pick_latest(self):
+        load = StepLoad([(100.0, 3.0), (200.0, 0.5)])
+        assert load.factor(150.0) == 3.0
+        assert load.factor(250.0) == 0.5
+
+    def test_unsorted_steps_are_sorted(self):
+        load = StepLoad([(200.0, 0.5), (100.0, 3.0)])
+        assert load.factor(150.0) == 3.0
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ValueError):
+            StepLoad([(0.0, -1.0)])
+
+
+class TestPeriodicLoad:
+    def test_oscillates_around_mean(self):
+        load = PeriodicLoad(mean=1.0, amplitude=0.5, period_ms=1000.0)
+        quarter = load.factor(250.0)  # sin peak
+        three_quarter = load.factor(750.0)  # sin trough
+        assert quarter == pytest.approx(1.5)
+        assert three_quarter == pytest.approx(0.5)
+
+    def test_clipped_at_zero(self):
+        load = PeriodicLoad(mean=0.1, amplitude=1.0, period_ms=1000.0)
+        assert load.factor(750.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicLoad(period_ms=0.0)
+
+
+class TestServiceProfile:
+    def test_default_distribution_used(self, rng):
+        profile = ServiceProfile(default=Constant(10.0))
+        assert profile.sample_duration("anything", 0.0, rng) == 10.0
+
+    def test_per_method_override(self, rng):
+        profile = ServiceProfile(
+            default=Constant(10.0), per_method={"heavy": Constant(100.0)}
+        )
+        assert profile.sample_duration("light", 0.0, rng) == 10.0
+        assert profile.sample_duration("heavy", 0.0, rng) == 100.0
+
+    def test_load_factor_scales_duration(self, rng):
+        profile = ServiceProfile(
+            default=Constant(10.0), load=StepLoad([(100.0, 3.0)])
+        )
+        assert profile.sample_duration("m", 0.0, rng) == 10.0
+        assert profile.sample_duration("m", 200.0, rng) == 30.0
+
+    def test_duration_never_negative(self, rng):
+        profile = ServiceProfile(default=Normal(0.0, 10.0))
+        for _ in range(100):
+            assert profile.sample_duration("m", 0.0, rng) >= 0.0
+
+
+class TestPaperServiceModel:
+    def test_defaults_match_paper(self, rng):
+        profile = paper_service_model()
+        dist = profile.distribution_for("process")
+        assert dist.mu == 100.0
+        assert dist.sigma == 50.0
+
+    def test_sampled_mean_is_near_paper_mean(self, rng):
+        profile = paper_service_model()
+        samples = [profile.sample_duration("m", 0.0, rng) for _ in range(20_000)]
+        # Clipping at zero pulls the mean slightly above 100.
+        assert np.mean(samples) == pytest.approx(101.9, abs=1.5)

@@ -1,0 +1,150 @@
+"""Unit tests for the simulation kernel (clock, heap, daemon events)."""
+
+import pytest
+
+from repro.sim.events import SimulationError
+from repro.sim.kernel import Simulator
+
+
+class TestClock:
+    def test_starts_at_zero_by_default(self):
+        assert Simulator().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=100.0).now == 100.0
+
+    def test_time_advances_to_event_instants(self, sim):
+        sim.timeout(3.0)
+        sim.timeout(7.0)
+        sim.step()
+        assert sim.now == 3.0
+        sim.step()
+        assert sim.now == 7.0
+
+    def test_same_instant_events_fire_fifo(self, sim):
+        order = []
+        first = sim.timeout(5.0)
+        second = sim.timeout(5.0)
+        first.add_callback(lambda e: order.append("first"))
+        second.add_callback(lambda e: order.append("second"))
+        sim.run()
+        assert order == ["first", "second"]
+
+
+class TestRun:
+    def test_run_drains_the_heap(self, sim):
+        sim.timeout(1.0)
+        sim.timeout(2.0)
+        sim.run()
+        assert sim.processed_events == 2
+
+    def test_run_until_stops_at_horizon(self, sim):
+        fired = []
+        sim.call_in(5.0, lambda: fired.append(5))
+        sim.call_in(15.0, lambda: fired.append(15))
+        sim.run(until=10.0)
+        assert fired == [5]
+        assert sim.now == 10.0
+
+    def test_run_until_composes(self, sim):
+        fired = []
+        sim.call_in(5.0, lambda: fired.append(5))
+        sim.call_in(15.0, lambda: fired.append(15))
+        sim.run(until=10.0)
+        sim.run(until=20.0)
+        assert fired == [5, 15]
+        assert sim.now == 20.0
+
+    def test_run_until_in_the_past_raises(self, sim):
+        sim.call_in(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0)
+
+    def test_step_on_empty_heap_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_peek_reports_next_instant(self, sim):
+        assert sim.peek() == float("inf")
+        sim.timeout(4.0)
+        assert sim.peek() == 4.0
+
+
+class TestDaemonEvents:
+    def test_daemon_alone_does_not_keep_run_alive(self, sim):
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            sim.call_in(10.0, tick, daemon=True)
+
+        sim.call_in(10.0, tick, daemon=True)
+        sim.run()  # must terminate despite the endless daemon chain
+        assert ticks == []
+
+    def test_daemon_fires_while_live_work_remains(self, sim):
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            sim.call_in(10.0, tick, daemon=True)
+
+        sim.call_in(10.0, tick, daemon=True)
+        sim.timeout(35.0)  # live work until t=35
+        sim.run()
+        assert ticks == [10.0, 20.0, 30.0]
+
+    def test_daemon_fires_up_to_bounded_horizon(self, sim):
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            sim.call_in(10.0, tick, daemon=True)
+
+        sim.call_in(10.0, tick, daemon=True)
+        sim.run(until=45.0)
+        assert ticks == [10.0, 20.0, 30.0, 40.0]
+        assert sim.now == 45.0
+
+    def test_pending_live_counts_only_live_events(self, sim):
+        sim.call_in(5.0, lambda: None, daemon=True)
+        assert sim.pending_live == 0
+        sim.timeout(1.0)
+        assert sim.pending_live == 1
+
+
+class TestCallHelpers:
+    def test_call_at_runs_at_absolute_time(self, sim):
+        seen = []
+        sim.call_at(12.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [12.5]
+
+    def test_call_at_in_past_raises(self, sim):
+        sim.timeout(10.0)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(5.0, lambda: None)
+
+    def test_run_until_event_returns_value(self, sim):
+        event = sim.timeout(3.0, "payload")
+        sim.timeout(100.0)  # later noise
+        assert sim.run_until_event(event) == "payload"
+        assert sim.now == 3.0
+
+    def test_run_until_event_raises_event_exception(self, sim):
+        event = sim.event().fail(ValueError("bad"), delay=1.0)
+        with pytest.raises(ValueError):
+            sim.run_until_event(event)
+
+    def test_run_until_event_without_source_raises(self, sim):
+        event = sim.event()  # never triggered
+        sim.timeout(1.0)
+        with pytest.raises(SimulationError):
+            sim.run_until_event(event)
+
+    def test_run_until_event_respects_limit(self, sim):
+        event = sim.timeout(100.0)
+        with pytest.raises(SimulationError):
+            sim.run_until_event(event, limit=10.0)

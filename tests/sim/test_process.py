@@ -1,0 +1,168 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim.events import Interrupt, SimulationError
+from repro.sim.kernel import Simulator
+
+
+def test_process_returns_generator_return_value(sim):
+    def worker(sim):
+        yield sim.timeout(5.0)
+        return "done"
+
+    proc = sim.spawn(worker(sim))
+    sim.run()
+    assert proc.value == "done"
+    assert not proc.alive
+
+
+def test_process_receives_event_values(sim):
+    def worker(sim):
+        value = yield sim.timeout(1.0, "tick")
+        return value
+
+    proc = sim.spawn(worker(sim))
+    sim.run()
+    assert proc.value == "tick"
+
+
+def test_process_sees_failed_event_as_exception(sim):
+    def worker(sim):
+        try:
+            yield sim.event().fail(ValueError("bad"), delay=1.0)
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    proc = sim.spawn(worker(sim))
+    sim.run()
+    assert proc.value == "caught bad"
+
+
+def test_uncaught_exception_fails_the_process(sim):
+    def worker(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("crash")
+
+    proc = sim.spawn(worker(sim))
+    sim.run()
+    assert not proc.ok
+    assert isinstance(proc.value, RuntimeError)
+
+
+def test_joining_another_process(sim):
+    def child(sim):
+        yield sim.timeout(3.0)
+        return 7
+
+    def parent(sim):
+        result = yield sim.spawn(child(sim))
+        return result * 2
+
+    proc = sim.spawn(parent(sim))
+    sim.run()
+    assert proc.value == 14
+
+
+def test_spawn_requires_generator(sim):
+    with pytest.raises(TypeError):
+        sim.spawn(lambda: None)
+
+
+def test_yielding_non_event_raises_inside_process(sim):
+    def worker(sim):
+        yield 42
+
+    proc = sim.spawn(worker(sim))
+    sim.run()
+    assert not proc.ok
+    assert isinstance(proc.value, SimulationError)
+
+
+def test_yielding_foreign_event_raises(sim):
+    other = Simulator()
+
+    def worker(sim):
+        yield other.timeout(1.0)
+
+    proc = sim.spawn(worker(sim))
+    sim.run()
+    assert not proc.ok
+    assert isinstance(proc.value, SimulationError)
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_waiting_process(self, sim):
+        def worker(sim):
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as interrupt:
+                return f"interrupted: {interrupt.cause}"
+
+        proc = sim.spawn(worker(sim))
+        sim.call_in(5.0, lambda: proc.interrupt("crash"))
+        finished_at = []
+        proc.add_callback(lambda e: finished_at.append(sim.now))
+        sim.run()
+        assert proc.value == "interrupted: crash"
+        # The process finished at the interrupt instant, not the timeout's.
+        assert finished_at == [5.0]
+
+    def test_unhandled_interrupt_fails_process(self, sim):
+        def worker(sim):
+            yield sim.timeout(100.0)
+
+        proc = sim.spawn(worker(sim))
+        sim.call_in(1.0, lambda: proc.interrupt())
+        sim.run()
+        assert not proc.ok
+        assert isinstance(proc.value, Interrupt)
+
+    def test_interrupting_finished_process_raises(self, sim):
+        def worker(sim):
+            yield sim.timeout(1.0)
+
+        proc = sim.spawn(worker(sim))
+        sim.run()
+        with pytest.raises(SimulationError):
+            proc.interrupt()
+
+    def test_interrupted_wait_does_not_resume_twice(self, sim):
+        resumptions = []
+
+        def worker(sim):
+            try:
+                yield sim.timeout(10.0)
+                resumptions.append("timeout")
+            except Interrupt:
+                resumptions.append("interrupt")
+            # Wait past the original timeout to catch a double resume.
+            yield sim.timeout(50.0)
+            resumptions.append("after")
+
+        proc = sim.spawn(worker(sim))
+        sim.call_in(5.0, lambda: proc.interrupt())
+        sim.run()
+        assert resumptions == ["interrupt", "after"]
+        assert proc.ok
+
+
+def test_two_processes_interleave_by_time(sim):
+    log = []
+
+    def worker(sim, name, delay):
+        for _ in range(3):
+            yield sim.timeout(delay)
+            log.append((name, sim.now))
+
+    sim.spawn(worker(sim, "fast", 1.0))
+    sim.spawn(worker(sim, "slow", 2.5))
+    sim.run()
+    assert log == [
+        ("fast", 1.0),
+        ("fast", 2.0),
+        ("slow", 2.5),
+        ("fast", 3.0),
+        ("slow", 5.0),
+        ("slow", 7.5),
+    ]

@@ -1,0 +1,159 @@
+"""Unit tests for random streams and distributions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.random import (
+    Constant,
+    Empirical,
+    Exponential,
+    LogNormal,
+    MarkovModulated,
+    Mixture,
+    Normal,
+    Pareto,
+    RandomStreams,
+    TruncatedNormal,
+    Uniform,
+)
+
+
+class TestRandomStreams:
+    def test_same_name_returns_same_stream(self):
+        streams = RandomStreams(seed=1)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_streams_are_reproducible_across_instances(self):
+        a = RandomStreams(seed=7).stream("x").random(5)
+        b = RandomStreams(seed=7).stream("x").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_names_give_different_sequences(self):
+        streams = RandomStreams(seed=7)
+        a = streams.stream("a").random(5)
+        b = streams.stream("b").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_give_different_sequences(self):
+        a = RandomStreams(seed=1).stream("x").random(5)
+        b = RandomStreams(seed=2).stream("x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_fork_is_independent_of_parent(self):
+        parent = RandomStreams(seed=1)
+        child = parent.fork("child")
+        a = parent.stream("x").random(5)
+        b = child.stream("x").random(5)
+        assert not np.array_equal(a, b)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestDistributions:
+    def test_constant(self, rng):
+        dist = Constant(5.0)
+        assert dist.sample(rng) == 5.0
+        assert dist.mean() == 5.0
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Constant(-1.0)
+
+    def test_uniform_bounds(self, rng):
+        dist = Uniform(2.0, 4.0)
+        samples = [dist.sample(rng) for _ in range(200)]
+        assert all(2.0 <= s < 4.0 for s in samples)
+        assert dist.mean() == 3.0
+
+    def test_exponential_mean(self, rng):
+        dist = Exponential(10.0)
+        samples = dist.sample_many(rng, 20_000)
+        assert samples.mean() == pytest.approx(10.0, rel=0.05)
+
+    def test_exponential_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+    def test_normal_is_clipped_at_zero(self, rng):
+        dist = Normal(1.0, 10.0)
+        samples = dist.sample_many(rng, 1000)
+        assert (samples >= 0).all()
+
+    def test_normal_clipped_mean_formula(self, rng):
+        dist = Normal(100.0, 50.0)
+        samples = dist.sample_many(rng, 50_000)
+        assert samples.mean() == pytest.approx(dist.mean(), rel=0.02)
+
+    def test_truncated_normal_respects_bounds(self, rng):
+        dist = TruncatedNormal(0.0, 1.0, low=-0.5, high=0.5)
+        samples = [dist.sample(rng) for _ in range(500)]
+        assert all(-0.5 <= s <= 0.5 for s in samples)
+
+    def test_truncated_normal_mean(self, rng):
+        dist = TruncatedNormal(100.0, 50.0, low=0.0)
+        samples = np.array([dist.sample(rng) for _ in range(20_000)])
+        assert samples.mean() == pytest.approx(dist.mean(), rel=0.02)
+
+    def test_lognormal_from_mean_cv(self, rng):
+        dist = LogNormal.from_mean_cv(mean=100.0, cv=0.5)
+        assert dist.mean() == pytest.approx(100.0)
+        samples = dist.sample_many(rng, 50_000)
+        assert samples.mean() == pytest.approx(100.0, rel=0.05)
+
+    def test_pareto_mean(self, rng):
+        dist = Pareto(xm=10.0, alpha=3.0)
+        assert dist.mean() == pytest.approx(15.0)
+        samples = np.array([dist.sample(rng) for _ in range(20_000)])
+        assert (samples >= 10.0).all()
+        assert samples.mean() == pytest.approx(15.0, rel=0.1)
+
+    def test_pareto_infinite_mean_for_small_alpha(self):
+        assert math.isinf(Pareto(xm=1.0, alpha=0.9).mean())
+
+    def test_empirical_resamples_only_observed_values(self, rng):
+        dist = Empirical([1.0, 2.0, 3.0])
+        samples = {dist.sample(rng) for _ in range(100)}
+        assert samples <= {1.0, 2.0, 3.0}
+        assert dist.mean() == 2.0
+
+    def test_empirical_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Empirical([])
+
+    def test_mixture_mean_is_weighted(self, rng):
+        dist = Mixture([Constant(0.0), Constant(10.0)], weights=[3, 1])
+        assert dist.mean() == pytest.approx(2.5)
+        samples = [dist.sample(rng) for _ in range(2000)]
+        assert sum(samples) / len(samples) == pytest.approx(2.5, abs=0.5)
+
+    def test_mixture_validates_lengths(self):
+        with pytest.raises(ValueError):
+            Mixture([Constant(1.0)], weights=[1, 2])
+
+
+class TestMarkovModulated:
+    def test_stationary_mean(self, rng):
+        dist = MarkovModulated(
+            Constant(1.0), Constant(10.0), p_enter_burst=0.1, p_exit_burst=0.3
+        )
+        # pi_burst = 0.1 / 0.4 = 0.25 -> mean = 0.75*1 + 0.25*10 = 3.25
+        assert dist.mean() == pytest.approx(3.25)
+        samples = [dist.sample(rng) for _ in range(50_000)]
+        assert sum(samples) / len(samples) == pytest.approx(3.25, rel=0.1)
+
+    def test_burst_state_produces_burst_samples(self, rng):
+        dist = MarkovModulated(
+            Constant(1.0), Constant(10.0), p_enter_burst=1.0, p_exit_burst=0.0
+        )
+        dist.sample(rng)  # enters burst on the first draw
+        assert dist.in_burst
+        assert dist.sample(rng) == 10.0
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            MarkovModulated(Constant(1), Constant(2), p_enter_burst=1.5)

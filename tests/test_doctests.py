@@ -1,0 +1,28 @@
+"""Run the doctest examples embedded in module docstrings.
+
+Keeps the documentation honest: if a docstring example drifts from the
+API, this fails.
+"""
+
+import doctest
+
+import pytest
+
+import repro.sim.process
+import repro.sim.random
+
+MODULES_WITH_EXAMPLES = [
+    repro.sim.process,
+    repro.sim.random,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_EXAMPLES, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, (
+        f"{module.__name__} lost its doctest examples"
+    )
+    assert results.failed == 0
