@@ -11,37 +11,128 @@ delay ``T_i``:
 Continuous measurements are quantized onto a bin grid before counting so
 the convolution support stays bounded (``O(l²)`` points for window size
 ``l``), which is also what makes the Fig. 3 overhead curve meaningful.
+
+Two pieces serve the incremental estimator pipeline (see
+docs/PERFORMANCE.md):
+
+* :class:`SampleCounts` maintains the bin counts of a stream under
+  single-sample add/evict, so a sliding window that replaces one sample
+  costs two dict updates instead of an ``O(l)`` recount.
+* All float tolerances (quantization rounding, CDF dust absorption,
+  convolution key aggregation) are derived from the grid resolution
+  instead of being hard-coded, so microsecond- and nanosecond-scale bins
+  behave exactly like millisecond ones.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["DiscretePMF", "quantize"]
+__all__ = ["DiscretePMF", "SampleCounts", "quantize"]
 
-# Sums of bin-aligned values accumulate float dust; keys are rounded to
-# this many decimals when aggregating convolution results.
+# Sums of bin-aligned values accumulate float dust; keys are rounded when
+# aggregating convolution results.  Nine decimals is the paper-era default
+# for millisecond-scale grids; finer grids get more decimals via
+# :func:`_grid_decimals` so sub-1e-8 bins are not flattened to zero.
 _KEY_DECIMALS = 9
+
+
+def _grid_decimals(resolution: float) -> int:
+    """Rounding decimals that preserve a grid of spacing ``resolution``.
+
+    Coarse grids (``resolution >= 1e-6``) keep the historical 9 decimals;
+    finer grids get three decimal orders of headroom below their spacing,
+    capped at 15 (the edge of double precision for O(1) magnitudes).
+    """
+    if resolution <= 0 or not math.isfinite(resolution):
+        return _KEY_DECIMALS
+    return max(_KEY_DECIMALS, min(15, 3 - int(math.floor(math.log10(resolution)))))
 
 
 def quantize(value: float, bin_width: float) -> float:
     """Round ``value`` to the nearest multiple of ``bin_width``."""
     if bin_width <= 0:
         raise ValueError(f"bin_width must be > 0, got {bin_width}")
-    return round(round(value / bin_width) * bin_width, _KEY_DECIMALS)
+    return round(round(value / bin_width) * bin_width, _grid_decimals(bin_width))
+
+
+class SampleCounts:
+    """Incrementally maintained bin counts of a measurement stream.
+
+    This is the count-delta backend of :meth:`DiscretePMF.from_samples`:
+    a sliding window that pushes one sample and evicts another updates two
+    dictionary entries instead of recounting all ``l`` samples.  The
+    repository's windows own one instance per bin width (see
+    ``SlidingWindow.pmf``).
+    """
+
+    __slots__ = ("bin_width", "_counts", "_total")
+
+    def __init__(self, bin_width: float, samples: Iterable[float] = ()):
+        if bin_width <= 0:
+            raise ValueError(f"bin_width must be > 0, got {bin_width}")
+        self.bin_width = float(bin_width)
+        self._counts: Dict[float, int] = {}
+        self._total = 0
+        for sample in samples:
+            self.add(sample)
+
+    def add(self, sample: float) -> None:
+        """Count one new sample."""
+        key = quantize(float(sample), self.bin_width)
+        self._counts[key] = self._counts.get(key, 0) + 1
+        self._total += 1
+
+    def evict(self, sample: float) -> None:
+        """Remove one previously added sample."""
+        key = quantize(float(sample), self.bin_width)
+        count = self._counts.get(key, 0)
+        if count == 0:
+            raise ValueError(f"cannot evict {sample!r}: bin {key!r} is empty")
+        if count == 1:
+            del self._counts[key]
+        else:
+            self._counts[key] = count - 1
+        self._total -= 1
+
+    def replace(self, new_sample: float, evicted: float = None) -> None:
+        """Push ``new_sample``, evicting ``evicted`` first when given."""
+        if evicted is not None:
+            self.evict(evicted)
+        self.add(new_sample)
+
+    def counts(self) -> Dict[float, int]:
+        """Current bin counts (copy)."""
+        return dict(self._counts)
+
+    def __len__(self) -> int:
+        return self._total
+
+    def pmf(self) -> "DiscretePMF":
+        """The relative-frequency pmf of the counted samples."""
+        return DiscretePMF.from_counts(self._counts)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SampleCounts bins={len(self._counts)} total={self._total} "
+            f"bin_width={self.bin_width}>"
+        )
 
 
 class DiscretePMF:
     """A probability mass function over a finite set of float values.
 
     Instances are immutable; all operations return new pmfs.  Values are
-    kept sorted, probabilities sum to 1 (within float tolerance).
+    kept sorted, probabilities sum to 1 (within float tolerance).  The
+    cumulative-probability array and the grid resolution are computed
+    lazily and cached, so repeated :meth:`cdf` queries cost a binary
+    search.
     """
 
-    __slots__ = ("_values", "_probs")
+    __slots__ = ("_values", "_probs", "_cum", "_gap")
 
     def __init__(self, values: Sequence[float], probs: Sequence[float]):
         if len(values) != len(probs):
@@ -60,6 +151,8 @@ class DiscretePMF:
         self._probs = np.maximum(probs_arr[order], 0.0)
         # Renormalize away any float dust introduced by clipping.
         self._probs = self._probs / self._probs.sum()
+        self._cum = None
+        self._gap = None
 
     # -- constructors ------------------------------------------------------
     @classmethod
@@ -75,15 +168,20 @@ class DiscretePMF:
 
         This is exactly the paper's estimator: "we first compute the
         probability mass function of S_i and W_i based on the relative
-        frequency of their values recorded in the sliding window".
+        frequency of their values recorded in the sliding window".  For
+        incremental maintenance under add/evict, keep a
+        :class:`SampleCounts` instead of re-invoking this constructor.
         """
         if len(samples) == 0:
             raise ValueError("cannot build a pmf from zero samples")
-        counts: Dict[float, int] = {}
-        for sample in samples:
-            key = quantize(float(sample), bin_width)
-            counts[key] = counts.get(key, 0) + 1
-        total = float(len(samples))
+        return SampleCounts(bin_width, samples).pmf()
+
+    @classmethod
+    def from_counts(cls, counts: Mapping[float, int]) -> "DiscretePMF":
+        """Relative-frequency pmf from pre-quantized ``{value: count}``."""
+        if not counts:
+            raise ValueError("cannot build a pmf from zero samples")
+        total = float(sum(counts.values()))
         values = sorted(counts)
         probs = [counts[v] / total for v in values]
         return cls(values, probs)
@@ -112,6 +210,38 @@ class DiscretePMF:
         """``(value, probability)`` pairs, ascending by value."""
         return list(zip(self._values.tolist(), self._probs.tolist()))
 
+    # -- derived caches ------------------------------------------------------
+    def cumulative_probs(self) -> np.ndarray:
+        """``P(X <= values[k])`` per atom, cached (read-only view)."""
+        if self._cum is None:
+            self._cum = np.cumsum(self._probs)
+        view = self._cum.view()
+        view.flags.writeable = False
+        return view
+
+    def resolution(self) -> float:
+        """Smallest gap between adjacent atoms (``inf`` for a singleton)."""
+        if self._gap is None:
+            if self._values.size > 1:
+                self._gap = float(np.min(np.diff(self._values)))
+            else:
+                self._gap = math.inf
+        return self._gap
+
+    def dust_tolerance(self) -> float:
+        """Absolute tolerance that absorbs grid float dust.
+
+        Derived from the atom spacing: one decimal-rounding quantum of the
+        grid, never more than half the spacing (so neighbouring atoms can
+        never be conflated).  Millisecond-scale grids keep the historical
+        1e-9.
+        """
+        gap = self.resolution()
+        tol = 10.0 ** (-_grid_decimals(gap))
+        if math.isfinite(gap):
+            tol = min(tol, 0.5 * gap)
+        return tol
+
     # -- statistics ---------------------------------------------------------
     def mean(self) -> float:
         """Expected value."""
@@ -125,14 +255,17 @@ class DiscretePMF:
     def cdf(self, t: float) -> float:
         """``P(X <= t)`` — the distribution function ``F(t)``.
 
-        A small tolerance absorbs bin-grid float dust so that
-        ``cdf(value)`` includes the atom at ``value``; the result is
-        clamped to [0, 1] against summation roundoff.
+        A grid-derived tolerance (:meth:`dust_tolerance`) absorbs bin
+        float dust so that ``cdf(value)`` includes the atom at ``value``;
+        the result is clamped to [0, 1] against summation roundoff.
         """
-        if t >= self._values[-1] - 1e-9:
+        tol = self.dust_tolerance()
+        if t >= self._values[-1] - tol:
             return 1.0  # at or beyond the largest atom: certain
-        total = float(self._probs[self._values <= t + 1e-9].sum())
-        return min(1.0, max(0.0, total))
+        index = int(np.searchsorted(self._values, t + tol, side="right"))
+        if index == 0:
+            return 0.0
+        return min(1.0, max(0.0, float(self.cumulative_probs()[index - 1])))
 
     def survival(self, t: float) -> float:
         """``P(X > t) = 1 − F(t)``."""
@@ -142,7 +275,7 @@ class DiscretePMF:
         """Smallest value ``v`` with ``F(v) >= q``."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile level must be in [0, 1], got {q}")
-        cumulative = np.cumsum(self._probs)
+        cumulative = self.cumulative_probs()
         index = int(np.searchsorted(cumulative, q - 1e-12))
         index = min(index, self._values.size - 1)
         return float(self._values[index])
@@ -158,7 +291,8 @@ class DiscretePMF:
     # -- algebra ------------------------------------------------------------
     def shift(self, delta: float) -> "DiscretePMF":
         """The pmf of ``X + delta`` (adding a constant, e.g. ``T_i``)."""
-        values = np.round(self._values + float(delta), _KEY_DECIMALS)
+        decimals = _grid_decimals(self.resolution())
+        values = np.round(self._values + float(delta), decimals)
         return DiscretePMF(values, self._probs)
 
     def scale(self, factor: float) -> "DiscretePMF":
@@ -167,7 +301,8 @@ class DiscretePMF:
             raise ValueError(f"scale factor must be >= 0, got {factor}")
         if factor == 0:
             return DiscretePMF.degenerate(0.0)
-        values = np.round(self._values * float(factor), _KEY_DECIMALS)
+        decimals = _grid_decimals(self.resolution() * float(factor))
+        values = np.round(self._values * float(factor), decimals)
         # Scaling cannot merge distinct atoms (it is injective for f>0),
         # so values stay unique.
         return DiscretePMF(values, self._probs)
@@ -176,11 +311,18 @@ class DiscretePMF:
         """The pmf of the sum of two independent variables.
 
         All pairwise value sums are formed and equal sums aggregated —
-        the discrete convolution of §5.3.1.
+        the discrete convolution of §5.3.1.  Singleton operands take a
+        constant-shift fast path: convolving with a degenerate pmf is a
+        translation, not an ``O(l²)`` outer product.
         """
+        if other._values.size == 1:
+            return self.shift(float(other._values[0]))
+        if self._values.size == 1:
+            return other.shift(float(self._values[0]))
         sums = np.add.outer(self._values, other._values).ravel()
         weights = np.multiply.outer(self._probs, other._probs).ravel()
-        keys = np.round(sums, _KEY_DECIMALS)
+        decimals = _grid_decimals(min(self.resolution(), other.resolution()))
+        keys = np.round(sums, decimals)
         unique, inverse = np.unique(keys, return_inverse=True)
         probs = np.bincount(inverse, weights=weights)
         return DiscretePMF(unique, probs)

@@ -10,18 +10,38 @@ contents, and ``T_i`` (two-way gateway delay) enters as its most recent
 measured value.  ``F_{R_i}(t)`` is then read off the convolved pmf.
 
 Computing the distribution is ~90 % of the selection cost the paper
-reports in Fig. 3, so the estimator memoizes per-replica pmfs keyed on the
-record's version — a pure optimization that leaves results unchanged
-(recomputation happens whenever new measurements arrive, which in the
-paper's design is on every reply anyway).
+reports in Fig. 3, so the estimator runs an *incremental pipeline*
+(docs/PERFORMANCE.md describes it end to end):
+
+* each sliding window caches its own empirical pmf, rebuilt from
+  incrementally maintained bin counts only when the window's version
+  moved (``SlidingWindow.pmf``);
+* the ``S_i ⊛ W_i`` convolution is cached per replica, keyed on the pair
+  of window versions — the expensive O(l²) outer product only reruns
+  when a performance update arrived;
+* the final response-time pmf is cached per replica, keyed on
+  ``(S-version, W-version, T_i, bin_width)`` — a gateway-delay update
+  alone re-shifts the cached convolution instead of rebuilding it;
+* :meth:`batch_probability_by` evaluates ``F_{R_i}(t)`` for *all*
+  replicas in one vectorized pass over a padded (values, cumulative)
+  matrix that is itself cached while every per-replica pmf is unchanged.
+
+With unchanged windows, a full selection therefore costs dictionary
+lookups plus one vectorized comparison — the measured Fig. 3 ``δ``
+collapses, which directly loosens the ``t − δ`` compensation of
+Algorithm 1 (§5.3.3).  Construct with ``incremental=False`` to restore
+the paper's rebuild-every-request behaviour (the benchmarks use it as
+the uncached baseline).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .distribution import DiscretePMF
-from .repository import InformationRepository, ReplicaRecord
+from .repository import InformationRepository, ReplicaRecord, SlidingWindow
 
 __all__ = ["ResponseTimeEstimator", "QueueScaledEstimator"]
 
@@ -37,18 +57,34 @@ class ResponseTimeEstimator:
         Quantization grid for the empirical pmfs.  The paper convolves raw
         measured values; a 1 ms grid keeps the convolution support bounded
         while staying well below the deadline scales of interest.
+    incremental:
+        When ``True`` (default) the versioned-window cache pipeline is
+        active.  ``False`` rebuilds every pmf from the raw window samples
+        on every (non-memoized) call — the paper's original cost model,
+        kept for the Fig. 3 uncached baseline and for the property tests
+        that check the cached path against a from-scratch rebuild.
     """
 
     def __init__(
         self,
         repository: InformationRepository,
         bin_width_ms: float = 1.0,
+        incremental: bool = True,
     ):
         if bin_width_ms <= 0:
             raise ValueError(f"bin_width_ms must be > 0, got {bin_width_ms}")
         self.repository = repository
         self.bin_width_ms = float(bin_width_ms)
-        self._cache: Dict[str, Tuple[int, DiscretePMF]] = {}
+        self.incremental = bool(incremental)
+        # replica -> (cache key, final response-time pmf).
+        self._cache: Dict[str, Tuple[tuple, DiscretePMF]] = {}
+        # replica -> ((S version, W version), S ⊛ W pmf).
+        self._conv_cache: Dict[str, Tuple[Tuple[int, int], DiscretePMF]] = {}
+        # (pmf tuple, padded values, cumulative, tolerances, sizes) for the
+        # batched F(t) evaluation; valid while every pmf object is reused.
+        self._batch_cache: Optional[tuple] = None
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # -- model construction ----------------------------------------------------
     def response_time_pmf(self, replica: str) -> Optional[DiscretePMF]:
@@ -56,28 +92,59 @@ class ResponseTimeEstimator:
         record = self.repository.record(replica)
         if not record.has_history:
             return None
+        key = self._cache_key(record)
         cached = self._cache.get(replica)
-        if cached is not None and cached[0] == record.version:
+        if cached is not None and cached[0] == key:
+            self.cache_hits += 1
             return cached[1]
+        self.cache_misses += 1
         pmf = self._build_pmf(record)
-        self._cache[replica] = (record.version, pmf)
+        self._cache[replica] = (key, pmf)
         return pmf
 
+    def _cache_key(self, record: ReplicaRecord) -> tuple:
+        """Everything the final pmf depends on (docs/PERFORMANCE.md).
+
+        A window version bump (the repository's push) changes the key and
+        therefore invalidates; so does a new ``T_i`` value — but a ``T_i``
+        change alone leaves the ``S ⊛ W`` convolution cache intact.
+        """
+        if record.gateway_delays is not None:
+            t_key: object = ("window", record.gateway_delays.version)
+        else:
+            t_key = ("point", record.gateway_delay_ms)
+        return (
+            record.service_times.version,
+            record.queue_delays.version,
+            t_key,
+            self.bin_width_ms,
+        )
+
+    def _window_pmf(self, window: SlidingWindow) -> DiscretePMF:
+        """One window's empirical pmf, via the incremental path when on."""
+        if self.incremental:
+            return window.pmf(self.bin_width_ms)
+        return DiscretePMF.from_samples(window.values(), self.bin_width_ms)
+
+    def _base_pmf(self, record: ReplicaRecord) -> DiscretePMF:
+        """``S_i ⊛ W_i``, cached on the pair of window versions."""
+        key = (record.service_times.version, record.queue_delays.version)
+        cached = self._conv_cache.get(record.name)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        conv = self._window_pmf(record.service_times).convolve(
+            self._window_pmf(record.queue_delays)
+        )
+        if self.incremental:
+            self._conv_cache[record.name] = (key, conv)
+        return conv
+
     def _build_pmf(self, record: ReplicaRecord) -> DiscretePMF:
-        service_pmf = DiscretePMF.from_samples(
-            record.service_times.values(), self.bin_width_ms
-        )
-        queue_pmf = DiscretePMF.from_samples(
-            record.queue_delays.values(), self.bin_width_ms
-        )
-        base = service_pmf.convolve(queue_pmf)
+        base = self._base_pmf(record)
         # §5.3.1 extension: with a gateway-delay window, T_i enters as a
         # distribution (its own empirical pmf) rather than a point shift.
         if record.gateway_delays is not None and len(record.gateway_delays):
-            gateway_pmf = DiscretePMF.from_samples(
-                record.gateway_delays.values(), self.bin_width_ms
-            )
-            return base.convolve(gateway_pmf)
+            return base.convolve(self._window_pmf(record.gateway_delays))
         assert record.gateway_delay_ms is not None  # guarded by has_history
         return base.shift(record.gateway_delay_ms)
 
@@ -97,10 +164,71 @@ class ResponseTimeEstimator:
 
     def probabilities_by(self, deadline_ms: float) -> Dict[str, Optional[float]]:
         """``F_{R_i}(deadline)`` for every tracked replica."""
-        return {
-            replica: self.probability_by(replica, deadline_ms)
-            for replica in self.repository.replicas()
-        }
+        replicas = self.repository.replicas()
+        return dict(
+            zip(replicas, self.batch_probability_by(replicas, deadline_ms))
+        )
+
+    def batch_probability_by(
+        self, replicas: Sequence[str], deadline_ms: float
+    ) -> List[Optional[float]]:
+        """``F_{R_i}(deadline)`` for ``replicas`` in one vectorized pass.
+
+        Per-replica entries are ``None`` without history, exactly as
+        :meth:`probability_by`.  When every pmf object is unchanged since
+        the previous call, evaluation is a single comparison over a cached
+        padded matrix — the hot path of ``DynamicSelectionPolicy``.
+        """
+        pmfs = [self.response_time_pmf(replica) for replica in replicas]
+        results: List[Optional[float]] = [None] * len(pmfs)
+        if deadline_ms <= 0:
+            for index, pmf in enumerate(pmfs):
+                if pmf is not None:
+                    results[index] = 0.0
+            return results
+        known = [(index, pmf) for index, pmf in enumerate(pmfs) if pmf is not None]
+        if not known:
+            return results
+        probabilities = self._batch_cdf(
+            tuple(pmf for _, pmf in known), float(deadline_ms)
+        )
+        for (index, _), probability in zip(known, probabilities):
+            results[index] = probability
+        return results
+
+    def _batch_cdf(
+        self, pmfs: Tuple[DiscretePMF, ...], t: float
+    ) -> List[float]:
+        cache = self._batch_cache
+        if (
+            cache is None
+            or len(cache[0]) != len(pmfs)
+            or any(a is not b for a, b in zip(cache[0], pmfs))
+        ):
+            count = len(pmfs)
+            width = max(pmf.support_size for pmf in pmfs)
+            values = np.full((count, width), np.inf)
+            cumulative = np.ones((count, width))
+            tolerances = np.empty(count)
+            sizes = np.empty(count, dtype=np.intp)
+            for row, pmf in enumerate(pmfs):
+                size = pmf.support_size
+                values[row, :size] = pmf.values
+                cumulative[row, :size] = pmf.cumulative_probs()
+                tolerances[row] = pmf.dust_tolerance()
+                sizes[row] = size
+            cache = (pmfs, values, cumulative, tolerances, sizes)
+            self._batch_cache = cache
+        _, values, cumulative, tolerances, sizes = cache
+        counts = (values <= t + tolerances[:, None]).sum(axis=1)
+        indices = np.clip(counts - 1, 0, values.shape[1] - 1)
+        probabilities = np.clip(
+            cumulative[np.arange(sizes.size), indices], 0.0, 1.0
+        )
+        # Mirror the scalar cdf's exact end points.
+        probabilities[counts == 0] = 0.0
+        probabilities[counts >= sizes] = 1.0
+        return probabilities.tolist()
 
     def expected_response_time(self, replica: str) -> Optional[float]:
         """Mean of the modeled response time (used by mean-based baselines)."""
@@ -109,17 +237,40 @@ class ResponseTimeEstimator:
             return None
         return pmf.mean()
 
+    # -- cache control -------------------------------------------------------
     def invalidate(self, replica: Optional[str] = None) -> None:
         """Drop memoized pmfs (all replicas when ``replica`` is None)."""
         if replica is None:
             self._cache.clear()
+            self._conv_cache.clear()
         else:
             self._cache.pop(replica, None)
+            self._conv_cache.pop(replica, None)
+        self._batch_cache = None
+
+    def prune(self, keep: Sequence[str]) -> None:
+        """Drop cache entries for replicas not in ``keep`` (view changes)."""
+        keep_set = set(keep)
+        for name in list(self._cache):
+            if name not in keep_set:
+                del self._cache[name]
+        for name in list(self._conv_cache):
+            if name not in keep_set:
+                del self._conv_cache[name]
+        self._batch_cache = None
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss counters of the final-pmf cache (for benchmarks)."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "entries": len(self._cache),
+        }
 
     def __repr__(self) -> str:
         return (
-            f"<ResponseTimeEstimator bin={self.bin_width_ms}ms "
-            f"replicas={len(self.repository)}>"
+            f"<{type(self).__name__} bin={self.bin_width_ms}ms "
+            f"replicas={len(self.repository)} incremental={self.incremental}>"
         )
 
 
@@ -139,13 +290,14 @@ class QueueScaledEstimator(ResponseTimeEstimator):
     that quantifies how much the simple windowed model leaves on the table.
     """
 
+    def _cache_key(self, record: ReplicaRecord) -> tuple:
+        # The scaled pmf also depends on the live queue depth, which can
+        # change without a window version bump (e.g. probe replies).
+        return super()._cache_key(record) + (record.queue_length,)
+
     def _build_pmf(self, record: ReplicaRecord) -> DiscretePMF:
-        service_pmf = DiscretePMF.from_samples(
-            record.service_times.values(), self.bin_width_ms
-        )
-        queue_pmf = DiscretePMF.from_samples(
-            record.queue_delays.values(), self.bin_width_ms
-        )
+        service_pmf = self._window_pmf(record.service_times)
+        queue_pmf = self._window_pmf(record.queue_delays)
         mean_service = service_pmf.mean()
         if mean_service > 0:
             implied_hist_depth = queue_pmf.mean() / mean_service

@@ -17,13 +17,23 @@ information service.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from .distribution import DiscretePMF, SampleCounts
 
 __all__ = ["SlidingWindow", "ReplicaRecord", "InformationRepository"]
 
 
 class SlidingWindow:
-    """Fixed-capacity window over the most recent measurements."""
+    """Fixed-capacity window over the most recent measurements.
+
+    Besides the raw values, the window maintains — lazily, one per
+    requested bin width — incremental :class:`SampleCounts` so that a
+    push/evict updates bin counts in O(1) and :meth:`pmf` can serve the
+    window's empirical pmf without an O(l) recount.  The monotone
+    :attr:`version` (bumped on every mutation) is the cache-invalidation
+    signal estimators key on; see docs/ARCHITECTURE.md.
+    """
 
     def __init__(self, size: int):
         if size < 1:
@@ -33,13 +43,21 @@ class SlidingWindow:
         # Monotone version, bumped on every append; estimators use it to
         # cache derived pmfs.
         self.version = 0
+        # bin_width -> incrementally maintained counts of the window.
+        self._counters: Dict[float, SampleCounts] = {}
+        # bin_width -> (version the pmf was built at, pmf).
+        self._pmf_cache: Dict[float, Tuple[int, DiscretePMF]] = {}
 
     def append(self, value: float) -> None:
         """Push one measurement, evicting the oldest if full."""
         if value < 0:
             raise ValueError(f"measurements must be >= 0, got {value}")
-        self._values.append(float(value))
+        value = float(value)
+        evicted = self._values[0] if len(self._values) == self.size else None
+        self._values.append(value)
         self.version += 1
+        for counter in self._counters.values():
+            counter.replace(value, evicted)
 
     def values(self) -> List[float]:
         """Current window contents, oldest first (copy)."""
@@ -57,6 +75,36 @@ class SlidingWindow:
         """Drop all measurements."""
         self._values.clear()
         self.version += 1
+        self._counters.clear()
+        self._pmf_cache.clear()
+
+    def counts(self, bin_width: float) -> Dict[float, int]:
+        """Bin counts of the current contents on a ``bin_width`` grid."""
+        return self._counter(bin_width).counts()
+
+    def pmf(self, bin_width: float) -> DiscretePMF:
+        """Empirical pmf of the window on a ``bin_width`` grid, cached.
+
+        The pmf is rebuilt (from the incrementally maintained counts, not
+        from the raw samples) only when :attr:`version` has moved since
+        the last call; an unchanged window returns the cached object.
+        Raises ``ValueError`` while the window is empty.
+        """
+        bin_width = float(bin_width)
+        cached = self._pmf_cache.get(bin_width)
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        pmf = self._counter(bin_width).pmf()
+        self._pmf_cache[bin_width] = (self.version, pmf)
+        return pmf
+
+    def _counter(self, bin_width: float) -> SampleCounts:
+        bin_width = float(bin_width)
+        counter = self._counters.get(bin_width)
+        if counter is None:
+            counter = SampleCounts(bin_width, self._values)
+            self._counters[bin_width] = counter
+        return counter
 
     def __repr__(self) -> str:
         return f"<SlidingWindow {len(self._values)}/{self.size}>"

@@ -119,46 +119,51 @@ def select_replicas(
     if crash_tolerance < 0:
         raise ValueError(f"crash_tolerance must be >= 0, got {crash_tolerance}")
 
-    # Line 3: sort in decreasing order of F_{R_i}(t).
-    sorted_list = sorted(candidates, key=lambda c: (-c.probability, c.name))
+    # Line 3: sort in decreasing order of F_{R_i}(t); ties by name.  The
+    # whole algorithm runs vectorized: one lexsort, one cumulative product
+    # over the miss probabilities, one threshold search.
+    names = np.array([c.name for c in candidates])
+    probabilities = np.array([c.probability for c in candidates])
+    order = np.lexsort((names, -probabilities))
+    names = names[order]
+    # Running product of (1 - F) in selection order; prefix k of it is the
+    # miss probability of the k best replicas.
+    miss = np.cumprod(1.0 - probabilities[order])
 
     # Line 4 (generalized): always protect the best `crash_tolerance`
     # replicas; they join the result but not the acceptance test.
-    protected = sorted_list[:crash_tolerance]
-    remainder = sorted_list[crash_tolerance:]
+    protected_count = min(crash_tolerance, len(candidates))
 
-    # Lines 6-14: grow the candidate set X until it alone covers Pc.
-    chosen: List[ReplicaProbability] = []
-    product = 1.0
-    for candidate in remainder:
-        chosen.append(candidate)
-        product *= 1.0 - candidate.probability
-        if 1.0 - product >= min_probability:
-            selected = protected + chosen
-            return SelectionResult(
-                selected=tuple(c.name for c in selected),
-                crash_safe_probability=1.0 - product,
-                full_probability=_subset_probability(selected),
-                used_fallback=False,
-            )
+    # Lines 6-14: the candidate set X is the smallest prefix of the
+    # remainder whose combined probability covers Pc.
+    if protected_count:
+        remainder_miss = np.cumprod(
+            1.0 - probabilities[order][protected_count:]
+        )
+    else:
+        remainder_miss = miss
+    covered = 1.0 - remainder_miss
+    hits = np.nonzero(covered >= min_probability)[0]
+    if hits.size:
+        cut = int(hits[0])
+        selected_count = protected_count + cut + 1
+        return SelectionResult(
+            selected=tuple(names[:selected_count].tolist()),
+            crash_safe_probability=float(covered[cut]),
+            full_probability=1.0 - float(miss[selected_count - 1]),
+            used_fallback=False,
+        )
 
     # Line 15: no acceptable subset — return the complete set M.
-    crash_safe = 1.0 - product if remainder else 0.0
+    crash_safe = float(covered[-1]) if covered.size else 0.0
     return SelectionResult(
-        selected=tuple(c.name for c in sorted_list),
+        selected=tuple(names.tolist()),
         crash_safe_probability=(
             crash_safe if crash_safe >= min_probability else 0.0
         ),
-        full_probability=_subset_probability(sorted_list),
+        full_probability=1.0 - float(miss[-1]),
         used_fallback=True,
     )
-
-
-def _subset_probability(subset: Sequence[ReplicaProbability]) -> float:
-    product = 1.0
-    for candidate in subset:
-        product *= 1.0 - candidate.probability
-    return 1.0 - product
 
 
 # ---------------------------------------------------------------------------
@@ -273,8 +278,18 @@ class DynamicSelectionPolicy(SelectionPolicy):
                 else self.last_overhead_ms
             )
             deadline = max(0.0, deadline - delta)
-        for replica in ctx.replicas:
-            probability = ctx.estimator.probability_by(replica, deadline)
+        # One batched pass over all replicas where the estimator supports
+        # it (cache-hot requests then cost a single vectorized compare);
+        # per-replica queries otherwise.
+        batch = getattr(ctx.estimator, "batch_probability_by", None)
+        if batch is not None and ctx.replicas:
+            probabilities = batch(ctx.replicas, deadline)
+        else:
+            probabilities = [
+                ctx.estimator.probability_by(replica, deadline)
+                for replica in ctx.replicas
+            ]
+        for replica, probability in zip(ctx.replicas, probabilities):
             if probability is None:
                 missing_history = True
                 break

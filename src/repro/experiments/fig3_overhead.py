@@ -14,6 +14,7 @@ distribution computation dominates.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass
 from typing import List, Sequence
@@ -25,7 +26,16 @@ from ..core.repository import InformationRepository
 from ..core.selection import ReplicaProbability, select_replicas
 from .harness import print_table
 
-__all__ = ["OverheadPoint", "build_loaded_repository", "measure_overhead", "run", "main"]
+__all__ = [
+    "OverheadPoint",
+    "CachedComparison",
+    "build_loaded_repository",
+    "measure_overhead",
+    "run",
+    "run_cached_comparison",
+    "export_estimator_bench",
+    "main",
+]
 
 
 @dataclass(frozen=True)
@@ -75,24 +85,35 @@ def measure_overhead(
     min_probability: float = 0.9,
     iterations: int = 200,
     seed: int = 0,
+    cached: bool = False,
 ) -> OverheadPoint:
     """Time the two phases of one selection over ``iterations`` repeats.
 
-    Each iteration invalidates the estimator cache first: the paper's
-    handler recomputes distributions on every request because fresh
-    measurements arrive with every reply.
+    With ``cached=False`` (the paper's cost model) each iteration rebuilds
+    every distribution from the raw window samples: the handler recomputes
+    on every request because fresh measurements arrive with every reply.
+    With ``cached=True`` the incremental estimator pipeline is active and
+    the windows are unchanged between iterations — the steady-state hot
+    path of the cached handler, where a selection costs cache lookups plus
+    one vectorized pass.
     """
     repository = build_loaded_repository(num_replicas, window_size, seed=seed)
-    estimator = ResponseTimeEstimator(repository)
+    estimator = ResponseTimeEstimator(repository, incremental=cached)
+    replicas = repository.replicas()
+    if cached:
+        estimator.batch_probability_by(replicas, deadline_ms)  # warm
 
     distribution_s = 0.0
     selection_s = 0.0
     for _ in range(iterations):
-        estimator.invalidate()
+        if not cached:
+            estimator.invalidate()
         started = time.perf_counter()
         probabilities = [
-            ReplicaProbability(name, estimator.probability_by(name, deadline_ms))
-            for name in repository.replicas()
+            ReplicaProbability(name, probability)
+            for name, probability in zip(
+                replicas, estimator.batch_probability_by(replicas, deadline_ms)
+            )
         ]
         mid = time.perf_counter()
         select_replicas(probabilities, min_probability)
@@ -109,6 +130,77 @@ def measure_overhead(
         distribution_us=distribution_us,
         selection_us=selection_us,
     )
+
+
+@dataclass(frozen=True)
+class CachedComparison:
+    """Uncached vs cached selection overhead at one (n, l) point."""
+
+    num_replicas: int
+    window_size: int
+    uncached: OverheadPoint
+    cached: OverheadPoint
+
+    @property
+    def speedup(self) -> float:
+        """How many times cheaper the cached steady-state selection is."""
+        if self.cached.total_us == 0:
+            return float("inf")
+        return self.uncached.total_us / self.cached.total_us
+
+
+def run_cached_comparison(
+    replica_counts: Sequence[int] = (2, 4, 8),
+    window_sizes: Sequence[int] = (5, 20, 60),
+    iterations: int = 200,
+) -> List[CachedComparison]:
+    """Cached-vs-uncached overhead curves (the incremental-pipeline win)."""
+    comparisons = []
+    for window_size in window_sizes:
+        for num_replicas in replica_counts:
+            comparisons.append(
+                CachedComparison(
+                    num_replicas=num_replicas,
+                    window_size=window_size,
+                    uncached=measure_overhead(
+                        num_replicas, window_size,
+                        iterations=iterations, cached=False,
+                    ),
+                    cached=measure_overhead(
+                        num_replicas, window_size,
+                        iterations=iterations, cached=True,
+                    ),
+                )
+            )
+    return comparisons
+
+
+def export_estimator_bench(
+    comparisons: Sequence[CachedComparison], path: str
+) -> None:
+    """Write ``BENCH_estimator.json`` (format: docs/PERFORMANCE.md)."""
+    payload = {
+        "benchmark": "fig3-estimator-overhead",
+        "unit": "microseconds per selection (mean over iterations)",
+        "description": (
+            "Per-request selection overhead delta: distributions + "
+            "Algorithm 1, uncached rebuild-every-request vs the "
+            "incremental versioned-window cache with unchanged windows."
+        ),
+        "points": [
+            {
+                "num_replicas": c.num_replicas,
+                "window_size": c.window_size,
+                "uncached_us": round(c.uncached.total_us, 3),
+                "cached_us": round(c.cached.total_us, 3),
+                "speedup": round(c.speedup, 2),
+            }
+            for c in comparisons
+        ],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
 
 
 def run(
@@ -129,7 +221,7 @@ def run(
 
 
 def main() -> None:
-    """Print the Figure 3 table."""
+    """Print the Figure 3 table and the cached-pipeline comparison."""
     points = run()
     rows = [
         (
@@ -147,6 +239,21 @@ def main() -> None:
         ["window l", "replicas n", "total us", "distribution us",
          "algorithm us", "distr. fraction"],
         rows,
+    )
+    comparisons = run_cached_comparison()
+    print_table(
+        "Incremental pipeline: cached vs uncached selection overhead",
+        ["window l", "replicas n", "uncached us", "cached us", "speedup"],
+        [
+            (
+                c.window_size,
+                c.num_replicas,
+                c.uncached.total_us,
+                c.cached.total_us,
+                c.speedup,
+            )
+            for c in comparisons
+        ],
     )
 
 

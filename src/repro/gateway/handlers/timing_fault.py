@@ -543,8 +543,12 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         return sorted(self._repositories)
 
     def _sync_repositories(self) -> None:
-        for repo in self._repositories.values():
+        for class_key, repo in self._repositories.items():
             repo.sync_members(self._members)
+            # Keep the estimator's versioned caches in step with the view:
+            # entries for evicted replicas must not survive a re-join with
+            # a fresh (restarted) record whose versions start over.
+            self._estimators[class_key].prune(self._members)
 
     # -- membership tracking -----------------------------------------------------
     def _on_view_change(self, view: GroupView) -> None:
@@ -664,6 +668,15 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         decision = self.policy.decide(ctx)
         if class_key != DEFAULT_CLASS:
             decision.meta["request_class"] = class_key
+        # The wall-clock δ of this decision (paper Fig. 3 / §5.3.3): with
+        # the incremental estimator cache hot, this is the number that
+        # should collapse — export it so experiments can watch it.
+        overhead_ms = decision.meta.get("overhead_ms")
+        if overhead_ms is not None:
+            self.metrics.observe(
+                "tf.selection_overhead_ms", float(overhead_ms),
+                labels={"client": self.host, "service": self.service},
+            )
         return decision
 
     # -- reply path ------------------------------------------------------------

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.distribution import DiscretePMF, quantize
+from repro.core.distribution import DiscretePMF, SampleCounts, quantize
 
 
 class TestQuantize:
@@ -151,3 +151,132 @@ class TestAlgebra:
         )
         assert response.min() == pytest.approx(103.0)
         assert response.max() == pytest.approx(173.0)
+
+
+class TestSampleCounts:
+    """The incremental count-delta backend of ``from_samples``."""
+
+    def test_matches_from_samples(self):
+        samples = [10.2, 10.4, 9.8, 20.1, 20.1]
+        counter = SampleCounts(1.0, samples)
+        assert counter.pmf().allclose(DiscretePMF.from_samples(samples, 1.0))
+
+    def test_add_then_evict_restores_counts(self):
+        counter = SampleCounts(1.0, [10.0, 20.0])
+        before = counter.counts()
+        counter.add(30.0)
+        counter.evict(30.0)
+        assert counter.counts() == before
+        assert len(counter) == 2
+
+    def test_replace_is_evict_plus_add(self):
+        counter = SampleCounts(1.0, [10.0, 20.0])
+        counter.replace(30.0, evicted=10.0)
+        assert counter.counts() == {20.0: 1, 30.0: 1}
+
+    def test_evict_missing_sample_rejected(self):
+        counter = SampleCounts(1.0, [10.0])
+        with pytest.raises(ValueError):
+            counter.evict(99.0)
+
+    def test_sliding_stream_equals_full_recount(self):
+        # Emulate a size-4 sliding window over a long stream.
+        rng = np.random.default_rng(3)
+        stream = rng.uniform(0.0, 50.0, size=40).tolist()
+        window = []
+        counter = SampleCounts(2.0)
+        for sample in stream:
+            evicted = window.pop(0) if len(window) == 4 else None
+            window.append(sample)
+            counter.replace(sample, evicted)
+            assert counter.pmf().allclose(
+                DiscretePMF.from_samples(window, 2.0)
+            )
+
+    def test_bin_width_validation(self):
+        with pytest.raises(ValueError):
+            SampleCounts(0.0)
+
+
+class TestFromCounts:
+    def test_from_counts_matches_from_samples(self):
+        pmf = DiscretePMF.from_counts({10.0: 3, 20.0: 1})
+        assert pmf.items() == [(10.0, 0.75), (20.0, 0.25)]
+
+    def test_from_counts_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DiscretePMF.from_counts({})
+
+
+class TestMicrosecondScaleBins:
+    """Regression: tolerances derive from bin_width, not hard-coded 1e-9.
+
+    With the old fixed 9-decimal rounding, grids finer than ~1e-8 were
+    flattened (``quantize(1.4e-10, 1e-10) == 0.0``) and sub-multiples
+    collapsed (``quantize(7.5e-9, 2.5e-9)`` rounded off-grid).
+    """
+
+    def test_quantize_preserves_nano_grid(self):
+        assert quantize(3.14e-9, 1e-9) == pytest.approx(3e-9, abs=1e-15)
+        assert quantize(3.14e-9, 1e-9) != quantize(4.2e-9, 1e-9)
+
+    def test_quantize_preserves_sub_1e8_grid(self):
+        # 3 bins of 2.5e-9: must stay at 7.5e-9, not round to 8e-9.
+        assert quantize(7.4e-9, 2.5e-9) == pytest.approx(7.5e-9, rel=1e-6)
+        assert quantize(1.4e-10, 1e-10) == pytest.approx(1e-10, rel=1e-6)
+
+    def test_from_samples_keeps_micro_bins_distinct(self):
+        pmf = DiscretePMF.from_samples([1e-6, 2e-6, 2e-6, 3e-6], 1e-6)
+        assert pmf.support_size == 3
+        assert pmf.probs.tolist() == [0.25, 0.5, 0.25]
+
+    def test_cdf_includes_atom_at_micro_scale(self):
+        pmf = DiscretePMF.from_samples([1e-6, 2e-6], 1e-6)
+        assert pmf.cdf(1e-6) == pytest.approx(0.5)
+        assert pmf.cdf(0.5e-6) == 0.0
+        assert pmf.cdf(2e-6) == 1.0
+
+    def test_cdf_tolerance_scales_with_grid(self):
+        # Dust three orders below the grid is absorbed; half a bin is not.
+        pmf = DiscretePMF.from_samples([1e-6, 2e-6], 1e-6)
+        assert pmf.cdf(1e-6 - 1e-10) == pytest.approx(0.5)
+        assert pmf.cdf(1e-6 - 5e-7) == 0.0
+
+    def test_convolution_on_micro_grid(self):
+        a = DiscretePMF.from_samples([1e-6, 2e-6], 1e-6)
+        b = DiscretePMF.from_samples([1e-6, 3e-6], 1e-6)
+        combined = a.convolve(b)
+        assert combined.support_size == 4  # 2, 3, 4, 5 microseconds
+        assert combined.mean() == pytest.approx(a.mean() + b.mean())
+
+    def test_shift_keeps_micro_grid(self):
+        pmf = DiscretePMF.from_samples([1e-6, 2e-6], 1e-6).shift(5e-6)
+        assert pmf.min() == pytest.approx(6e-6, rel=1e-9)
+        assert pmf.support_size == 2
+
+    def test_millisecond_grids_keep_historical_tolerance(self):
+        # Coarse grids must not loosen: 1e-9 dust absorbed, 1e-4 is not.
+        pmf = DiscretePMF.from_samples([10.0, 20.0], 1.0)
+        assert pmf.cdf(10.0 - 5e-10) == pytest.approx(0.5)
+        assert pmf.cdf(10.0 - 1e-4) == 0.0
+
+
+class TestConvolveFastPaths:
+    def test_degenerate_right_operand_is_shift(self):
+        pmf = DiscretePMF.from_samples([1.0, 2.0, 3.0])
+        shifted = pmf.convolve(DiscretePMF.degenerate(5.0))
+        assert shifted.allclose(pmf.shift(5.0))
+
+    def test_degenerate_left_operand_is_shift(self):
+        pmf = DiscretePMF.from_samples([1.0, 2.0, 3.0])
+        shifted = DiscretePMF.degenerate(5.0).convolve(pmf)
+        assert shifted.allclose(pmf.shift(5.0))
+
+    def test_fast_path_matches_outer_product(self):
+        # Reference result computed without the fast path.
+        pmf = DiscretePMF.from_samples([1.0, 2.0, 2.0, 4.0])
+        single = DiscretePMF.degenerate(3.0)
+        sums = np.add.outer(pmf.values, single.values).ravel()
+        weights = np.multiply.outer(pmf.probs, single.probs).ravel()
+        reference = DiscretePMF(np.round(sums, 9), weights)
+        assert pmf.convolve(single).allclose(reference)

@@ -108,6 +108,67 @@ def test_binning_groups_noisy_samples(repo):
     assert pmf.support_size == 1  # everything collapses to 100 + 0 + 3
 
 
+class TestIncrementalPipeline:
+    def test_incremental_matches_from_scratch(self, repo):
+        _feed(repo, "r1", services=[100, 110, 120, 130, 140],
+              queues=[0, 5, 10, 15, 20], gateway=3.0)
+        cached = ResponseTimeEstimator(repo).response_time_pmf("r1")
+        fresh = ResponseTimeEstimator(
+            repo, incremental=False
+        ).response_time_pmf("r1")
+        assert cached.allclose(fresh)
+
+    def test_cache_info_counts_hits_and_misses(self, repo):
+        _feed(repo, "r1", services=[100] * 5, queues=[0] * 5, gateway=3.0)
+        estimator = ResponseTimeEstimator(repo)
+        estimator.response_time_pmf("r1")
+        estimator.response_time_pmf("r1")
+        info = estimator.cache_info()
+        assert info == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_gateway_delay_update_reuses_convolution(self, repo):
+        # A new T_i must re-shift the cached S ⊛ W, not rebuild it.
+        _feed(repo, "r1", services=[100] * 5, queues=[0] * 5, gateway=3.0)
+        estimator = ResponseTimeEstimator(repo)
+        estimator.response_time_pmf("r1")
+        conv_before = estimator._conv_cache["r1"]
+        repo.record_gateway_delay("r1", 9.0, now_ms=1.0)
+        after = estimator.response_time_pmf("r1")
+        assert estimator._conv_cache["r1"] is conv_before
+        assert after.min() == pytest.approx(109.0)
+
+    def test_prune_drops_departed_replicas(self, repo):
+        _feed(repo, "r1", services=[100] * 5, queues=[0] * 5, gateway=3.0)
+        _feed(repo, "r2", services=[100] * 5, queues=[0] * 5, gateway=3.0)
+        estimator = ResponseTimeEstimator(repo)
+        estimator.response_time_pmf("r1")
+        estimator.response_time_pmf("r2")
+        estimator.prune(["r2"])
+        assert estimator.cache_info()["entries"] == 1
+
+    def test_batch_matches_scalar(self, repo):
+        _feed(repo, "r1", services=[100] * 5, queues=[0] * 5, gateway=3.0)
+        _feed(repo, "r2", services=[50] * 5, queues=[0] * 5, gateway=3.0)
+        repo.add_replica("r3")  # no history
+        estimator = ResponseTimeEstimator(repo)
+        replicas = repo.replicas()
+        for deadline in (-1.0, 0.0, 60.0, 104.0, 500.0):
+            batched = estimator.batch_probability_by(replicas, deadline)
+            for name, probability in zip(replicas, batched):
+                assert probability == estimator.probability_by(name, deadline)
+
+    def test_batch_reuses_matrix_across_calls(self, repo):
+        _feed(repo, "r1", services=[100] * 5, queues=[0] * 5, gateway=3.0)
+        estimator = ResponseTimeEstimator(repo)
+        estimator.batch_probability_by(["r1"], 100.0)
+        matrix = estimator._batch_cache
+        estimator.batch_probability_by(["r1"], 200.0)
+        assert estimator._batch_cache is matrix  # unchanged pmfs: reused
+        repo.record_performance("r1", 150.0, 0.0, 0, now_ms=1.0)
+        estimator.batch_probability_by(["r1"], 200.0)
+        assert estimator._batch_cache is not matrix
+
+
 class TestQueueScaledEstimator:
     def test_scales_with_current_queue_depth(self, repo):
         # History: queueing ~ one service time (depth ~1).
@@ -125,3 +186,16 @@ class TestQueueScaledEstimator:
         base = ResponseTimeEstimator(repo).response_time_pmf("r1")
         scaled = QueueScaledEstimator(repo).response_time_pmf("r1")
         assert scaled.mean() == pytest.approx(base.mean())
+
+    def test_cache_tracks_probe_queue_updates(self, repo):
+        # Probe replies write queue_length directly, without a window
+        # version bump; the scaled estimator's cache key must still see it.
+        _feed(repo, "r1", services=[100] * 5, queues=[100] * 5, gateway=0.0)
+        estimator = QueueScaledEstimator(repo)
+        record = repo.record("r1")
+        record.queue_length = 1
+        before = estimator.response_time_pmf("r1")
+        record.queue_length = 7
+        after = estimator.response_time_pmf("r1")
+        assert after is not before
+        assert after.mean() > before.mean()

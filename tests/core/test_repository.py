@@ -40,6 +40,44 @@ class TestSlidingWindow:
         assert len(window) == 0
         assert not window.full
 
+    def test_pmf_cached_while_version_unchanged(self):
+        window = SlidingWindow(3)
+        window.append(10.0)
+        window.append(20.0)
+        first = window.pmf(1.0)
+        assert window.pmf(1.0) is first  # same version: cached object
+        window.append(30.0)
+        second = window.pmf(1.0)
+        assert second is not first  # version bump invalidated
+
+    def test_pmf_tracks_eviction(self):
+        window = SlidingWindow(2)
+        for value in (10.0, 20.0, 30.0):
+            window.append(value)
+        assert window.pmf(1.0).items() == [(20.0, 0.5), (30.0, 0.5)]
+
+    def test_counts_maintained_per_bin_width(self):
+        window = SlidingWindow(3)
+        for value in (0.6, 1.2, 2.4):
+            window.append(value)
+        assert window.counts(1.0) == {1.0: 2, 2.0: 1}
+        assert window.counts(2.0) == {0.0: 1, 2.0: 2}
+        window.append(3.1)  # evicts 0.6
+        assert window.counts(1.0) == {1.0: 1, 2.0: 1, 3.0: 1}
+        assert window.counts(2.0) == {2.0: 2, 4.0: 1}
+
+    def test_pmf_on_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(3).pmf(1.0)
+
+    def test_clear_resets_counters(self):
+        window = SlidingWindow(3)
+        window.append(10.0)
+        assert window.counts(1.0) == {10.0: 1}
+        window.clear()
+        window.append(20.0)
+        assert window.counts(1.0) == {20.0: 1}
+
 
 class TestReplicaRecord:
     def test_no_history_initially(self):

@@ -125,6 +125,37 @@ class TestSelectReplicas:
         result = select_replicas(_candidates([0.5, 0.5]), 0.0)
         assert result.full_probability == pytest.approx(0.75)
 
+    def test_vectorized_matches_reference_implementation(self):
+        # The batched numpy version against a line-by-line transcription
+        # of Algorithm 1, over a random sweep of inputs.
+        def reference(candidates, min_probability, crash_tolerance):
+            ordered = sorted(
+                candidates, key=lambda c: (-c.probability, c.name)
+            )
+            protected = ordered[:crash_tolerance]
+            chosen, product = [], 1.0
+            for candidate in ordered[crash_tolerance:]:
+                chosen.append(candidate)
+                product *= 1.0 - candidate.probability
+                if 1.0 - product >= min_probability:
+                    return tuple(c.name for c in protected + chosen), False
+            return tuple(c.name for c in ordered), True
+
+        rng = np.random.default_rng(42)
+        for _ in range(200):
+            count = int(rng.integers(1, 10))
+            candidates = _candidates(rng.uniform(0.0, 1.0, size=count))
+            min_probability = float(rng.uniform(0.0, 1.0))
+            crash_tolerance = int(rng.integers(0, 4))
+            expected, fallback = reference(
+                candidates, min_probability, crash_tolerance
+            )
+            result = select_replicas(
+                candidates, min_probability, crash_tolerance=crash_tolerance
+            )
+            assert result.selected == expected
+            assert result.used_fallback is fallback
+
 
 class TestDynamicSelectionPolicy:
     def _context(self, repo, deadline=120.0, min_probability=0.9):

@@ -1,0 +1,179 @@
+"""Property-based tests for the incremental estimator cache.
+
+The contract of the versioned-window pipeline (docs/PERFORMANCE.md): for
+*any* interleaving of performance pushes and gateway-delay updates — each
+push both appends and, once the window is full, evicts — the cached
+estimator must return pmfs ``allclose`` to a from-scratch rebuild, and a
+window version bump must always invalidate the memoized pmf.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distribution import DiscretePMF, SampleCounts
+from repro.core.estimator import QueueScaledEstimator, ResponseTimeEstimator
+from repro.core.repository import InformationRepository
+
+# One repository mutation: a replica performance push or a gateway-delay
+# measurement, with millisecond-scale values.
+perf_ops = st.tuples(
+    st.just("perf"),
+    st.sampled_from(["r1", "r2"]),
+    st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    st.integers(min_value=0, max_value=5),
+)
+gateway_ops = st.tuples(
+    st.just("gateway"),
+    st.sampled_from(["r1", "r2"]),
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+)
+op_sequences = st.lists(st.one_of(perf_ops, gateway_ops), min_size=1, max_size=30)
+bin_widths = st.sampled_from([0.5, 1.0, 2.0])
+window_sizes = st.integers(min_value=1, max_value=6)
+
+
+def _apply(repo, op, now):
+    if op[0] == "perf":
+        _, name, service, queue, depth = op
+        repo.record_performance(name, service, queue, depth, now_ms=now)
+    else:
+        _, name, delay = op
+        repo.record_gateway_delay(name, delay, now_ms=now)
+
+
+@given(op_sequences, bin_widths, window_sizes)
+@settings(max_examples=60)
+def test_cached_pmfs_match_from_scratch_rebuild(ops, bin_width, window_size):
+    """Random push/evict sequences: cached == uncached, at every step."""
+    repo = InformationRepository(window_size=window_size)
+    cached = ResponseTimeEstimator(repo, bin_width_ms=bin_width)
+    for step, op in enumerate(ops):
+        _apply(repo, op, float(step))
+        for name in repo.replicas():
+            cached_pmf = cached.response_time_pmf(name)
+            fresh = ResponseTimeEstimator(
+                repo, bin_width_ms=bin_width, incremental=False
+            ).response_time_pmf(name)
+            if fresh is None:
+                assert cached_pmf is None
+            else:
+                assert cached_pmf.allclose(fresh)
+
+
+@given(op_sequences, bin_widths)
+@settings(max_examples=40)
+def test_cached_pmfs_match_with_gateway_windows(ops, bin_width):
+    """Same contract with the §5.3.1 T_i-as-distribution extension."""
+    repo = InformationRepository(window_size=4, gateway_window_size=3)
+    cached = ResponseTimeEstimator(repo, bin_width_ms=bin_width)
+    for step, op in enumerate(ops):
+        _apply(repo, op, float(step))
+    for name in repo.replicas():
+        cached_pmf = cached.response_time_pmf(name)
+        cached_pmf = cached.response_time_pmf(name)  # hit the memo too
+        fresh = ResponseTimeEstimator(
+            repo, bin_width_ms=bin_width, incremental=False
+        ).response_time_pmf(name)
+        if fresh is None:
+            assert cached_pmf is None
+        else:
+            assert cached_pmf.allclose(fresh)
+
+
+@given(op_sequences, bin_widths)
+@settings(max_examples=40)
+def test_queue_scaled_cached_matches_rebuild(ops, bin_width):
+    """The queue-depth-scaled variant obeys the same cache contract."""
+    repo = InformationRepository(window_size=4)
+    cached = QueueScaledEstimator(repo, bin_width_ms=bin_width)
+    for step, op in enumerate(ops):
+        _apply(repo, op, float(step))
+        for name in repo.replicas():
+            cached_pmf = cached.response_time_pmf(name)
+            fresh = QueueScaledEstimator(
+                repo, bin_width_ms=bin_width, incremental=False
+            ).response_time_pmf(name)
+            if fresh is None:
+                assert cached_pmf is None
+            else:
+                assert cached_pmf.allclose(fresh)
+
+
+@given(op_sequences)
+@settings(max_examples=40)
+def test_batch_probabilities_match_scalar_queries(ops):
+    repo = InformationRepository(window_size=4)
+    estimator = ResponseTimeEstimator(repo)
+    for step, op in enumerate(ops):
+        _apply(repo, op, float(step))
+    replicas = repo.replicas()
+    for deadline in (0.0, 50.0, 150.0, 700.0):
+        batched = estimator.batch_probability_by(replicas, deadline)
+        for name, probability in zip(replicas, batched):
+            expected = estimator.probability_by(name, deadline)
+            if expected is None:
+                assert probability is None
+            else:
+                assert probability == pytest.approx(expected, abs=1e-12)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=300.0, allow_nan=False),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=40)
+def test_version_bump_always_invalidates(extra_samples):
+    """Every push moves the window version and drops the memoized pmf."""
+    repo = InformationRepository(window_size=3)
+    repo.record_performance("r1", 100.0, 5.0, 1, now_ms=0.0)
+    repo.record_gateway_delay("r1", 3.0, now_ms=0.0)
+    estimator = ResponseTimeEstimator(repo)
+    previous = estimator.response_time_pmf("r1")
+    for step, sample in enumerate(extra_samples):
+        record = repo.record("r1")
+        version_before = (
+            record.service_times.version,
+            record.queue_delays.version,
+        )
+        repo.record_performance("r1", sample, sample / 2.0, 0, now_ms=float(step))
+        version_after = (
+            record.service_times.version,
+            record.queue_delays.version,
+        )
+        assert version_after > version_before  # push bumps the version
+        current = estimator.response_time_pmf("r1")
+        assert current is not previous  # memo was invalidated
+        fresh = ResponseTimeEstimator(
+            repo, incremental=False
+        ).response_time_pmf("r1")
+        assert current.allclose(fresh)
+        previous = current
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=5,
+        max_size=40,
+    ),
+    st.sampled_from([0.5, 1.0, 1e-3, 1e-6]),
+)
+@settings(max_examples=60)
+def test_incremental_counts_track_any_window(stream, bin_width):
+    """SampleCounts under sliding eviction == full recount, any bin width."""
+    window_size = 4
+    window = []
+    counter = SampleCounts(bin_width)
+    for sample in stream:
+        evicted = window.pop(0) if len(window) == window_size else None
+        window.append(sample)
+        counter.replace(sample, evicted)
+        assert len(counter) == len(window)
+        assert counter.pmf().allclose(
+            DiscretePMF.from_samples(window, bin_width)
+        )

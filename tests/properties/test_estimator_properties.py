@@ -86,6 +86,9 @@ def test_expected_response_is_sum_of_means(service, queue, gateway):
     expected = (
         sum(service) / len(service) + sum(queue) / len(queue) + gateway
     )
+    # Quantization can move each window's mean by up to half the 1.0 ms
+    # bin (two windows -> 1.0 total), and shift() rounds to the 9-decimal
+    # grid, so the worst case sits a hair *above* 1.0.
     assert estimator.expected_response_time("r1") == pytest.approx(
-        expected, abs=1.0
+        expected, abs=1.0 + 1e-8
     )
