@@ -54,6 +54,7 @@ def run_two_client_experiment(
     window_size: int = 5,
     policy_factory: Optional[Callable[[], SelectionPolicy]] = None,
     config: Optional[ScenarioConfig] = None,
+    audit_lifecycle: bool = True,
 ) -> TwoClientResult:
     """One run of the paper's §6 experiment.
 
@@ -61,6 +62,10 @@ def run_two_client_experiment(
     ``(deadline_ms, min_probability)``.  Both issue ``num_requests``
     requests with 1 s think time against ``num_replicas`` replicas whose
     service delay is Normal(100 ms, 50 ms).
+
+    ``audit_lifecycle`` (default on) runs the drain-time
+    :class:`~repro.faultinject.auditor.LifecycleAuditor` over the finished
+    scenario, so every figure run doubles as a leak regression check.
     """
     if config is None:
         config = ScenarioConfig(
@@ -83,6 +88,8 @@ def run_two_client_experiment(
         num_requests=num_requests,
     )
     scenario.run_to_completion()
+    if audit_lifecycle:
+        scenario.audit_lifecycle()
     return TwoClientResult(
         deadline_ms=deadline_ms,
         min_probability=min_probability,

@@ -1,0 +1,51 @@
+"""Fault injection and lifecycle auditing for the request path.
+
+Three composable layers:
+
+* :mod:`~repro.faultinject.schedule` — declarative fault schedules
+  (drops, delay spikes, duplicated/late replies, crash+restart, view
+  churn) plus a randomized-schedule generator;
+* :mod:`~repro.faultinject.transport` /
+  :mod:`~repro.faultinject.drivers` — interpreters that apply a schedule
+  to a running deployment (message level and host level respectively);
+* :mod:`~repro.faultinject.auditor` — the drain-time
+  :class:`LifecycleAuditor` asserting the request-lifecycle invariants
+  (exactly-once completion, no leaked bookkeeping, no resurrected
+  replicas, idle servers).
+
+See docs/ARCHITECTURE.md ("Fault injection and lifecycle invariants").
+"""
+
+from .auditor import (
+    AuditReport,
+    LifecycleAuditor,
+    LifecycleViolation,
+    SubmissionRecord,
+)
+from .drivers import LifecycleFaultDriver
+from .schedule import (
+    ChurnFault,
+    CrashRestartFault,
+    DelayRule,
+    DropRule,
+    DuplicateRule,
+    FaultSchedule,
+    random_fault_schedule,
+)
+from .transport import FaultyTransport
+
+__all__ = [
+    "AuditReport",
+    "ChurnFault",
+    "CrashRestartFault",
+    "DelayRule",
+    "DropRule",
+    "DuplicateRule",
+    "FaultSchedule",
+    "FaultyTransport",
+    "LifecycleAuditor",
+    "LifecycleFaultDriver",
+    "LifecycleViolation",
+    "SubmissionRecord",
+    "random_fault_schedule",
+]

@@ -1,0 +1,204 @@
+"""Drain-time lifecycle auditing for the request path.
+
+The :class:`LifecycleAuditor` wraps every watched client handler's
+``submit`` so each intercepted request is tracked from submission to its
+outcome event, then — once the simulation has drained — checks the
+invariants that must hold no matter what faults were injected:
+
+1. **Exactly-once completion**: every submitted request's outcome event
+   fired exactly once, with a reply XOR a timeout (never both, never
+   neither).
+2. **No leaked bookkeeping**: each handler's ``lifecycle_leaks()`` is
+   empty — no ``_pending`` records, no retransmission ``_aliases``, no
+   ``_probes_in_flight`` entries survive the drain.
+3. **No resurrection**: no client repository holds a replica that is not
+   in the handler's current membership view (a stale performance push
+   must not bring an evicted replica back).
+4. **Idle servers**: every non-crashed server has an empty queue and no
+   request in service.
+
+``audit()`` returns an :class:`AuditReport`; ``assert_clean()`` raises
+:class:`LifecycleViolation` with the full report when anything leaked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..orb.object import MethodRequest
+from ..sim.events import Event
+
+__all__ = [
+    "SubmissionRecord",
+    "AuditReport",
+    "LifecycleViolation",
+    "LifecycleAuditor",
+]
+
+
+class LifecycleViolation(AssertionError):
+    """Raised by :meth:`LifecycleAuditor.assert_clean` on a dirty audit."""
+
+
+@dataclass
+class SubmissionRecord:
+    """One intercepted request and everything its event delivered."""
+
+    client: str
+    method: str
+    submitted_at_ms: float
+    event: Event
+    outcomes: List = field(default_factory=list)
+    failures: List[BaseException] = field(default_factory=list)
+
+
+@dataclass
+class AuditReport:
+    """Result of one drain-time audit."""
+
+    submitted: int
+    replies: int
+    timeouts: int
+    violations: List[str]
+
+    @property
+    def clean(self) -> bool:
+        """Whether every invariant held."""
+        return not self.violations
+
+    @property
+    def completed(self) -> int:
+        """Requests that delivered exactly one outcome."""
+        return self.replies + self.timeouts
+
+    def __str__(self) -> str:
+        head = (
+            f"lifecycle audit: {self.submitted} submitted, "
+            f"{self.replies} replies, {self.timeouts} timeouts"
+        )
+        if self.clean:
+            return head + ", clean"
+        lines = [head + f", {len(self.violations)} violation(s):"]
+        lines.extend(f"  - {violation}" for violation in self.violations)
+        return "\n".join(lines)
+
+
+class LifecycleAuditor:
+    """Tracks submissions and audits handler state at drain time."""
+
+    def __init__(self):
+        self._clients: List = []
+        self._servers: List = []
+        self.records: List[SubmissionRecord] = []
+
+    # -- wiring --------------------------------------------------------------
+    def watch_client(self, handler) -> None:
+        """Track every request submitted through ``handler``.
+
+        The handler's ``submit`` is wrapped in place, so the auditor must
+        be attached before traffic starts.
+        """
+        if any(existing is handler for existing in self._clients):
+            return
+        self._clients.append(handler)
+        original = handler.submit
+        records = self.records
+
+        def audited_submit(request: MethodRequest) -> Event:
+            event = original(request)
+            record = SubmissionRecord(
+                client=handler.host,
+                method=request.method,
+                submitted_at_ms=handler.sim.now,
+                event=event,
+            )
+            event.add_callback(
+                lambda e: (
+                    record.outcomes.append(e.value)
+                    if e.ok
+                    else record.failures.append(e.value)
+                )
+            )
+            records.append(record)
+            return event
+
+        handler.submit = audited_submit
+
+    def watch_server(self, handler) -> None:
+        """Register a server handler for drain-time state checks."""
+        if any(existing is handler for existing in self._servers):
+            return
+        self._servers.append(handler)
+
+    # -- auditing --------------------------------------------------------------
+    def audit(self) -> AuditReport:
+        """Check every invariant; call only once the simulation drained."""
+        violations: List[str] = []
+        replies = 0
+        timeouts = 0
+        for index, record in enumerate(self.records):
+            label = (
+                f"request #{index} ({record.client}.{record.method} "
+                f"@{record.submitted_at_ms:.1f}ms)"
+            )
+            if record.failures:
+                violations.append(
+                    f"{label}: outcome event failed with {record.failures[0]!r}"
+                )
+                continue
+            if not record.event.processed:
+                violations.append(f"{label}: never completed (leaked request)")
+                continue
+            if len(record.outcomes) != 1:
+                violations.append(
+                    f"{label}: completed {len(record.outcomes)} times, "
+                    "expected exactly once"
+                )
+                continue
+            outcome = record.outcomes[0]
+            if outcome.timed_out:
+                timeouts += 1
+                if outcome.replica is not None:
+                    violations.append(
+                        f"{label}: timed out yet names replica "
+                        f"{outcome.replica!r} (reply AND timeout)"
+                    )
+            else:
+                replies += 1
+                if outcome.replica is None:
+                    violations.append(
+                        f"{label}: replied without a replica "
+                        "(neither reply nor timeout)"
+                    )
+        for handler in self._clients:
+            violations.extend(self._handler_leaks("client", handler))
+        for handler in self._servers:
+            violations.extend(self._handler_leaks("server", handler))
+        return AuditReport(
+            submitted=len(self.records),
+            replies=replies,
+            timeouts=timeouts,
+            violations=violations,
+        )
+
+    @staticmethod
+    def _handler_leaks(role: str, handler) -> List[str]:
+        leaks: Dict[str, List] = handler.lifecycle_leaks()
+        return [
+            f"{role} {handler.host!r}: leaked {name} = {entries}"
+            for name, entries in sorted(leaks.items())
+        ]
+
+    def assert_clean(self) -> AuditReport:
+        """Audit and raise :class:`LifecycleViolation` on any violation."""
+        report = self.audit()
+        if not report.clean:
+            raise LifecycleViolation(str(report))
+        return report
+
+    def __repr__(self) -> str:
+        return (
+            f"<LifecycleAuditor clients={len(self._clients)} "
+            f"servers={len(self._servers)} records={len(self.records)}>"
+        )

@@ -1,0 +1,142 @@
+"""Host-level fault drivers: crash-mid-service + restart, and view churn.
+
+Message-level faults live in :class:`~repro.faultinject.transport
+.FaultyTransport`; this module applies the two fault families that touch
+hosts and membership instead of messages:
+
+* :class:`CrashRestartFault` — the host drops off the LAN (in-flight
+  deliveries to it are lost), its server handler's queue is cleared and
+  its service loop interrupted (crash-mid-service), and — if a restart is
+  scheduled — the host comes back as a fresh incarnation, the failure
+  detector's declaration is cleared and the member rejoins its group.
+* :class:`ChurnFault` — a graceful leave (the member stays up but
+  vanishes from the view) followed by an optional rejoin, exercising the
+  client handlers' view-tracking and repository eviction under traffic.
+
+Both are idempotent against racing membership changes: a churned member
+that was concurrently evicted by the failure detector is simply skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..gateway.handlers.timing_fault import TimingFaultServerHandler
+from ..group.ensemble import GroupCommunication
+from ..net.lan import LanModel
+from ..sim.kernel import Simulator
+from ..sim.trace import NullTracer, Tracer
+from .schedule import ChurnFault, CrashRestartFault, FaultSchedule
+
+__all__ = ["LifecycleFaultDriver"]
+
+
+class LifecycleFaultDriver:
+    """Applies crash/restart and churn faults to a running deployment.
+
+    Parameters
+    ----------
+    sim, lan, group_comm:
+        Simulation substrate the deployment runs on.
+    service:
+        Group name the replicas belong to.
+    servers:
+        Host name -> server handler, for queue clearing and restart.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        lan: LanModel,
+        group_comm: GroupCommunication,
+        service: str,
+        servers: Dict[str, TimingFaultServerHandler],
+        tracer: Optional[Tracer] = None,
+    ):
+        self.sim = sim
+        self.lan = lan
+        self.group_comm = group_comm
+        self.service = service
+        self.servers = servers
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.crashes_applied = 0
+        self.restarts_applied = 0
+        self.leaves_applied = 0
+        self.rejoins_applied = 0
+
+    # -- scheduling ------------------------------------------------------------
+    def apply(self, schedule: FaultSchedule) -> None:
+        """Arm every host-level fault of ``schedule``."""
+        for fault in schedule.crashes:
+            self.apply_crash(fault)
+        for fault in schedule.churn:
+            self.apply_churn(fault)
+
+    def apply_crash(self, fault: CrashRestartFault) -> None:
+        if fault.host not in self.servers:
+            raise KeyError(f"no server handler for host {fault.host!r}")
+        self.sim.call_at(fault.crash_at_ms, lambda: self.crash_now(fault.host))
+        if fault.restart_at_ms is not None:
+            self.sim.call_at(
+                fault.restart_at_ms, lambda: self.restart_now(fault.host)
+            )
+
+    def apply_churn(self, fault: ChurnFault) -> None:
+        self.sim.call_at(fault.leave_at_ms, lambda: self.leave_now(fault.member))
+        if fault.rejoin_at_ms is not None:
+            self.sim.call_at(
+                fault.rejoin_at_ms, lambda: self.rejoin_now(fault.member)
+            )
+
+    # -- crash / restart -------------------------------------------------------
+    def crash_now(self, host: str) -> None:
+        """Fail-stop ``host`` at the current instant (idempotent)."""
+        if not self.lan.is_up(host):
+            return
+        self.lan.mark_down(host)
+        self.servers[host].crash()
+        self.crashes_applied += 1
+        self.tracer.emit(self.sim.now, "faultinject", "fault.crash", host=host)
+
+    def restart_now(self, host: str) -> None:
+        """Bring ``host`` back as a fresh incarnation (idempotent)."""
+        if self.lan.is_up(host):
+            return
+        self.lan.mark_up(host)
+        self.servers[host].restart()
+        detector = self.group_comm.failure_detector
+        detector.forget(host)
+        if host not in self.group_comm.view(self.service):
+            self.group_comm.join(self.service, host, watch=True)
+        self.restarts_applied += 1
+        self.tracer.emit(self.sim.now, "faultinject", "fault.restart", host=host)
+
+    # -- view churn ------------------------------------------------------------
+    def leave_now(self, member: str) -> None:
+        """Remove a live member from the view (skipped if already gone)."""
+        if member not in self.group_comm.view(self.service):
+            return
+        self.group_comm.leave(self.service, member)
+        self.leaves_applied += 1
+        self.tracer.emit(
+            self.sim.now, "faultinject", "fault.leave", member=member
+        )
+
+    def rejoin_now(self, member: str) -> None:
+        """Rejoin a previously churned member (skipped if down/present)."""
+        if not self.lan.is_up(member):
+            return  # crashed in the meantime; the restart path rejoins it
+        if member in self.group_comm.view(self.service):
+            return
+        self.group_comm.join(self.service, member, watch=True)
+        self.rejoins_applied += 1
+        self.tracer.emit(
+            self.sim.now, "faultinject", "fault.rejoin", member=member
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<LifecycleFaultDriver crashes={self.crashes_applied} "
+            f"restarts={self.restarts_applied} leaves={self.leaves_applied} "
+            f"rejoins={self.rejoins_applied}>"
+        )

@@ -1,0 +1,278 @@
+"""Fault schedules: declarative descriptions of hostile conditions.
+
+A :class:`FaultSchedule` bundles the five fault families the request path
+must survive (ISSUE 2 / paper §3's "occasional periods of high traffic"
+plus the crash and churn behaviours of §5.3.2):
+
+* **message drops** (:class:`DropRule`) — omission faults on the wire,
+* **delay spikes** (:class:`DelayRule`) — transient congestion,
+* **duplicated / late replies** (:class:`DuplicateRule`) — retransmitting
+  networks and slow paths,
+* **crash + restart** (:class:`CrashRestartFault`) — fail-stop replicas,
+  optionally coming back as a fresh incarnation,
+* **view churn** (:class:`ChurnFault`) — graceful leaves/rejoins that
+  reshape the membership view under traffic.
+
+Rules are pure data; :class:`~repro.faultinject.transport.FaultyTransport`
+interprets the message-level rules and
+:class:`~repro.faultinject.drivers.LifecycleFaultDriver` the host-level
+ones.  :func:`random_fault_schedule` draws a randomized schedule from a
+``numpy`` generator — the workhorse of the ``tests/faults`` suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..net.message import Message
+
+__all__ = [
+    "DropRule",
+    "DelayRule",
+    "DuplicateRule",
+    "CrashRestartFault",
+    "ChurnFault",
+    "FaultSchedule",
+    "random_fault_schedule",
+]
+
+
+def _window_ok(start_ms: float, end_ms: float) -> None:
+    if start_ms < 0:
+        raise ValueError(f"start_ms must be >= 0, got {start_ms}")
+    if end_ms <= start_ms:
+        raise ValueError(
+            f"end_ms must exceed start_ms, got [{start_ms}, {end_ms}]"
+        )
+
+
+@dataclass(frozen=True)
+class _MessageRule:
+    """Shared shape of the message-level rules: a time window plus filters.
+
+    ``kinds``/``src``/``dst`` of ``None`` match everything; otherwise the
+    message's kind / sender / destination must match exactly.
+    """
+
+    start_ms: float
+    end_ms: float
+    kinds: Optional[Tuple[str, ...]] = None
+    src: Optional[str] = None
+    dst: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        _window_ok(self.start_ms, self.end_ms)
+
+    def matches(self, now_ms: float, message: Message) -> bool:
+        """Whether the rule applies to ``message`` sent at ``now_ms``."""
+        if not self.start_ms <= now_ms < self.end_ms:
+            return False
+        if self.kinds is not None and message.kind not in self.kinds:
+            return False
+        if self.src is not None and message.sender != self.src:
+            return False
+        if self.dst is not None and message.destination != self.dst:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class DropRule(_MessageRule):
+    """Silently lose matching messages with ``probability``."""
+
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in (0, 1], got {self.probability}"
+            )
+
+
+@dataclass(frozen=True)
+class DelayRule(_MessageRule):
+    """Hold matching messages back by ``extra_ms`` before transmission."""
+
+    extra_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.extra_ms < 0:
+            raise ValueError(f"extra_ms must be >= 0, got {self.extra_ms}")
+
+
+@dataclass(frozen=True)
+class DuplicateRule(_MessageRule):
+    """Deliver ``copies`` extra copies of matching messages, each sent
+    ``late_by_ms`` after the original (a late duplicate models both a
+    retransmitting network and a reply outliving its request)."""
+
+    probability: float = 1.0
+    copies: int = 1
+    late_by_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in (0, 1], got {self.probability}"
+            )
+        if self.copies < 1:
+            raise ValueError(f"copies must be >= 1, got {self.copies}")
+        if self.late_by_ms < 0:
+            raise ValueError(f"late_by_ms must be >= 0, got {self.late_by_ms}")
+
+
+@dataclass(frozen=True)
+class CrashRestartFault:
+    """Fail-stop ``host`` at ``crash_at_ms``; restart it if requested."""
+
+    host: str
+    crash_at_ms: float
+    restart_at_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.crash_at_ms < 0:
+            raise ValueError(f"crash_at_ms must be >= 0, got {self.crash_at_ms}")
+        if self.restart_at_ms is not None and self.restart_at_ms <= self.crash_at_ms:
+            raise ValueError("restart must come strictly after the crash")
+
+
+@dataclass(frozen=True)
+class ChurnFault:
+    """Gracefully remove ``member`` from the view; rejoin it if requested."""
+
+    member: str
+    leave_at_ms: float
+    rejoin_at_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.leave_at_ms < 0:
+            raise ValueError(f"leave_at_ms must be >= 0, got {self.leave_at_ms}")
+        if self.rejoin_at_ms is not None and self.rejoin_at_ms <= self.leave_at_ms:
+            raise ValueError("rejoin must come strictly after the leave")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A full scripted fault scenario; all families default to empty."""
+
+    drops: Tuple[DropRule, ...] = ()
+    delays: Tuple[DelayRule, ...] = ()
+    duplicates: Tuple[DuplicateRule, ...] = ()
+    crashes: Tuple[CrashRestartFault, ...] = ()
+    churn: Tuple[ChurnFault, ...] = ()
+
+    def merged(self, other: "FaultSchedule") -> "FaultSchedule":
+        """Union of two schedules (composable scenarios)."""
+        return FaultSchedule(
+            drops=self.drops + other.drops,
+            delays=self.delays + other.delays,
+            duplicates=self.duplicates + other.duplicates,
+            crashes=self.crashes + other.crashes,
+            churn=self.churn + other.churn,
+        )
+
+    def __len__(self) -> int:
+        return (
+            len(self.drops)
+            + len(self.delays)
+            + len(self.duplicates)
+            + len(self.crashes)
+            + len(self.churn)
+        )
+
+
+def random_fault_schedule(
+    rng: np.random.Generator,
+    horizon_ms: float,
+    replicas: Sequence[str],
+    drop_windows: int = 3,
+    drop_probability: float = 0.3,
+    delay_windows: int = 2,
+    max_extra_ms: float = 40.0,
+    duplicate_windows: int = 2,
+    duplicate_probability: float = 0.5,
+    max_late_by_ms: float = 60.0,
+    crash_restarts: int = 2,
+    churn_events: int = 2,
+    window_fraction: float = 0.15,
+) -> FaultSchedule:
+    """Draw a randomized schedule over ``[0, horizon_ms)``.
+
+    Message-level windows cover about ``window_fraction`` of the horizon
+    each; crashes always restart and churned members always rejoin, so a
+    long-enough run converges back to the full view (the property the
+    lifecycle auditor's drain-time invariants rely on).
+    """
+    if horizon_ms <= 0:
+        raise ValueError(f"horizon_ms must be > 0, got {horizon_ms}")
+    if not replicas:
+        raise ValueError("need at least one replica to inject faults into")
+
+    def window() -> Tuple[float, float]:
+        length = max(1.0, window_fraction * horizon_ms * rng.uniform(0.5, 1.5))
+        start = rng.uniform(0.0, max(1.0, horizon_ms - length))
+        return start, start + length
+
+    drops = []
+    for _ in range(drop_windows):
+        start, end = window()
+        drops.append(
+            DropRule(start_ms=start, end_ms=end, probability=drop_probability)
+        )
+    delays = []
+    for _ in range(delay_windows):
+        start, end = window()
+        delays.append(
+            DelayRule(
+                start_ms=start,
+                end_ms=end,
+                extra_ms=rng.uniform(1.0, max_extra_ms),
+            )
+        )
+    duplicates = []
+    for _ in range(duplicate_windows):
+        start, end = window()
+        duplicates.append(
+            DuplicateRule(
+                start_ms=start,
+                end_ms=end,
+                probability=duplicate_probability,
+                copies=int(rng.integers(1, 3)),
+                late_by_ms=rng.uniform(0.0, max_late_by_ms),
+            )
+        )
+    crashes = []
+    for _ in range(crash_restarts):
+        host = str(rng.choice(list(replicas)))
+        crash_at = rng.uniform(0.0, horizon_ms * 0.8)
+        restart_at = crash_at + rng.uniform(
+            horizon_ms * 0.05, horizon_ms * 0.15
+        )
+        crashes.append(
+            CrashRestartFault(
+                host=host, crash_at_ms=crash_at, restart_at_ms=restart_at
+            )
+        )
+    churn = []
+    for _ in range(churn_events):
+        member = str(rng.choice(list(replicas)))
+        leave_at = rng.uniform(0.0, horizon_ms * 0.8)
+        rejoin_at = leave_at + rng.uniform(
+            horizon_ms * 0.05, horizon_ms * 0.15
+        )
+        churn.append(
+            ChurnFault(member=member, leave_at_ms=leave_at, rejoin_at_ms=rejoin_at)
+        )
+    return FaultSchedule(
+        drops=tuple(drops),
+        delays=tuple(delays),
+        duplicates=tuple(duplicates),
+        crashes=tuple(crashes),
+        churn=tuple(churn),
+    )

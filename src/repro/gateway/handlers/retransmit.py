@@ -80,7 +80,12 @@ class RetransmittingClientHandler(TimingFaultClientHandler):
         self.max_retries = int(max_retries)
         self.retransmissions = 0
         # msg_id of a retransmitted copy -> (original msg_id, copy sent at).
+        # Entries are popped when the copy's reply folds back and when the
+        # original request is forgotten, so the map is bounded by the
+        # copies of currently in-flight requests.
         self._aliases: Dict[int, Tuple[int, float]] = {}
+        # original msg_id -> copy msg_ids, for cleanup on forget.
+        self._copies: Dict[int, List[int]] = {}
 
     def _effective_retry_timeout(self) -> float:
         if self.retry_timeout_ms is not None:
@@ -88,16 +93,17 @@ class RetransmittingClientHandler(TimingFaultClientHandler):
         return self.qos.deadline_ms / 2.0
 
     # -- request path ----------------------------------------------------------
-    def _dispatch(self, request, call, t0: float, outcome_event: Event) -> None:
-        super()._dispatch(request, call, t0, outcome_event)
-        # Find the pending record just created and arm the retry chain.
-        if not self._pending:
-            return
-        msg_id = max(self._pending)
-        pending = self._pending[msg_id]
+    def _dispatch(self, request, call, t0: float, outcome_event: Event) -> int:
+        msg_id = super()._dispatch(request, call, t0, outcome_event)
+        # Arm the retry chain on the request just created (the id is
+        # threaded through; inferring it from the _pending keys is racy).
+        pending = self._pending.get(msg_id)
+        if pending is None:
+            return msg_id  # already failed fast (empty view)
         ranking = list(pending.decision.meta.get("ranking", []))
         tried = list(pending.decision.selected)
         self._arm_retry(msg_id, call, ranking, tried, attempt=1)
+        return msg_id
 
     def _arm_retry(
         self,
@@ -141,6 +147,10 @@ class RetransmittingClientHandler(TimingFaultClientHandler):
             size_bytes=call.size_bytes,
         )
         self._aliases[copy.msg_id] = (msg_id, self.sim.now)
+        self._copies.setdefault(msg_id, []).append(copy.msg_id)
+        # The retransmission target may now reply too; keep the record
+        # until it has been heard from (or the response timeout fires).
+        pending.expected.add(target)
         self.retransmissions += 1
         self.transport.send(copy)
         self.tracer.emit(
@@ -155,11 +165,19 @@ class RetransmittingClientHandler(TimingFaultClientHandler):
         # fold them back onto the original request.  The gateway delay of
         # such a reply must be measured from the *copy's* transmission
         # time, so t1 is swapped for the duration of the fold.
-        alias = self._aliases.get(message.correlation_id)
+        alias = self._aliases.pop(message.correlation_id, None)
         if alias is None:
             super().handle_message(message)
             return
         original_id, copy_sent_at = alias
+        copies = self._copies.get(original_id)
+        if copies is not None:
+            try:
+                copies.remove(message.correlation_id)
+            except ValueError:
+                pass
+            if not copies:
+                del self._copies[original_id]
         folded = Message(
             sender=message.sender,
             destination=message.destination,
@@ -179,6 +197,24 @@ class RetransmittingClientHandler(TimingFaultClientHandler):
             super().handle_message(folded)
         finally:
             pending.t1 = saved_t1
+
+    # -- lifecycle -------------------------------------------------------------
+    def _on_request_forgotten(self, msg_id: int) -> None:
+        """Drop the aliases of a request's copies when the request goes.
+
+        Copies whose replies never arrive (crashed replica, lost message)
+        would otherwise leak their alias entries forever.
+        """
+        for copy_id in self._copies.pop(msg_id, ()):
+            self._aliases.pop(copy_id, None)
+
+    def lifecycle_leaks(self) -> Dict[str, List]:
+        leaks = super().lifecycle_leaks()
+        if self._aliases:
+            leaks["aliases"] = sorted(self._aliases)
+        if self._copies:
+            leaks["alias_copies"] = sorted(self._copies)
+        return leaks
 
     def __repr__(self) -> str:
         return (

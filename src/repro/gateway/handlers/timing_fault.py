@@ -333,6 +333,18 @@ class TimingFaultServerHandler(ProtocolHandler):
         self._wakeup = None
         self._process = self.sim.spawn(self._run(), name=f"server.{self.host}")
 
+    # -- lifecycle invariants ------------------------------------------------
+    def lifecycle_leaks(self) -> Dict[str, List]:
+        """Server state that must be empty/idle once traffic has drained."""
+        leaks: Dict[str, List] = {}
+        if self.crashed:
+            return leaks  # a crashed incarnation holds no live obligations
+        if self._queue:
+            leaks["queued_requests"] = [m.msg_id for m, _t2 in self._queue]
+        if self._busy:
+            leaks["busy"] = [self.host]
+        return leaks
+
     def __repr__(self) -> str:
         return (
             f"<TimingFaultServerHandler {self.host!r} queue={self.queue_length} "
@@ -347,7 +359,15 @@ class TimingFaultServerHandler(ProtocolHandler):
 
 @dataclass
 class _PendingRequest:
-    """Client-side bookkeeping for one outstanding request."""
+    """Client-side bookkeeping for one outstanding request.
+
+    ``expected`` holds the replicas a reply may still arrive from (the
+    replicas actually addressed, including later retransmission targets);
+    ``replied`` the replicas heard from so far.  Once a completed request
+    has heard from every expected replica, no redundant reply can arrive
+    any more and the record is dropped without waiting for the response
+    timeout — the bound that keeps ``_pending`` sized by in-flight work.
+    """
 
     request: MethodRequest
     t0: float
@@ -356,6 +376,8 @@ class _PendingRequest:
     decision: SelectionDecision
     completed: bool = False
     expired: bool = False
+    expected: set = field(default_factory=set)
+    replied: set = field(default_factory=set)
 
 
 class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
@@ -478,6 +500,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         # Pluggable estimator construction (e.g. QueueScaledEstimator).
         self.estimator_factory = estimator_factory
         self.probes_sent = 0
+        self.probes_expired = 0
 
         # Performance state is kept per request class.  The default class
         # always exists; `self.repository` / `self.estimator` alias it for
@@ -604,7 +627,8 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         )
         return outcome_event
 
-    def _dispatch(self, request, call, t0: float, outcome_event: Event) -> None:
+    def _dispatch(self, request, call, t0: float, outcome_event: Event) -> int:
+        """Select, transmit and register one request; returns its msg_id."""
         decision = self._decide(list(self._members), request)
         message = Message(
             sender=self.host,
@@ -632,6 +656,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
             pending.decision = SelectionDecision(
                 selected=sent_to, meta=decision.meta
             )
+            pending.expected.update(sent_to)
             self.metrics.observe(
                 "tf.redundancy", len(sent_to),
                 labels={"client": self.host, "service": self.service},
@@ -644,12 +669,19 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         self.metrics.increment(
             "tf.requests", labels={"client": self.host, "service": self.service}
         )
+        if not sent_to:
+            # The request reached zero replicas (empty view or a racing
+            # eviction): no reply can ever arrive, so fail fast as a
+            # timeout instead of burning factor × deadline.
+            self.sim.call_in(0.0, lambda: self._expire(message.msg_id))
+            return message.msg_id
         # Arm the response timeout; it also keeps the kernel's run loop
         # alive while a reply is in flight.
         timeout_ms = self.qos.deadline_ms * self.response_timeout_factor
         self.sim.call_in(
             timeout_ms, lambda: self._expire(message.msg_id)
         )
+        return message.msg_id
 
     def _decide(
         self, replicas: List[str], request: MethodRequest
@@ -708,8 +740,10 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
                 replica, gateway_delay, t4,
                 class_key=self._classify(pending.request),
             )
+            pending.replied.add(replica)
 
         if pending is None or pending.completed:
+            self._maybe_forget(message.correlation_id)
             return  # redundant (or post-expiry) reply: discard
 
         pending.completed = True
@@ -737,9 +771,33 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         self.sim.call_in(
             demarshal_cost, lambda: outcome_event_succeed(pending.event, outcome)
         )
+        self._maybe_forget(message.correlation_id)
+
+    def _maybe_forget(self, msg_id: int) -> None:
+        """Drop a completed record once every expected reply has arrived.
+
+        Redundant replies from the remaining expected replicas are still
+        mined for performance data, so the record stays until they have
+        all been heard from (or the response timeout gives up on them).
+        """
+        pending = self._pending.get(msg_id)
+        if pending is None or not pending.completed:
+            return
+        if pending.expected <= pending.replied:
+            self._forget(msg_id)
+
+    def _forget(self, msg_id: int) -> Optional[_PendingRequest]:
+        """Remove a request record; notifies subclasses via the hook."""
+        pending = self._pending.pop(msg_id, None)
+        if pending is not None:
+            self._on_request_forgotten(msg_id)
+        return pending
+
+    def _on_request_forgotten(self, msg_id: int) -> None:
+        """Hook: a request left ``_pending`` (subclasses clean aliases)."""
 
     def _expire(self, msg_id: int) -> None:
-        pending = self._pending.pop(msg_id, None)
+        pending = self._forget(msg_id)
         if pending is None:
             return
         if pending.completed:
@@ -792,9 +850,21 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         self._probes_in_flight[message.msg_id] = self.sim.now
         self.probes_sent += 1
         self.transport.send(message)
+        # A probe whose reply is lost must not pin its record forever:
+        # give up on it after one probe interval (it will be re-probed if
+        # the replica stays stale), keeping the map bounded.
+        self.sim.call_in(
+            self.probe_interval_ms,
+            lambda: self._expire_probe(message.msg_id),
+            daemon=True,
+        )
         self.tracer.emit(
             self.sim.now, f"client.{self.host}", "client.probe", replica=replica
         )
+
+    def _expire_probe(self, msg_id: int) -> None:
+        if self._probes_in_flight.pop(msg_id, None) is not None:
+            self.probes_expired += 1
 
     def _on_probe_reply(self, message: Message) -> None:
         sent_at = self._probes_in_flight.pop(message.correlation_id, None)
@@ -870,6 +940,33 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
             self._violation_reported = True
         else:
             self._violation_reported = False
+
+    # -- lifecycle invariants ------------------------------------------------
+    def lifecycle_leaks(self) -> Dict[str, List]:
+        """State that must be empty once the system has fully drained.
+
+        Keys map invariant names to the offending entries; an empty dict
+        means the handler holds no leaked request-lifecycle state.  The
+        fault-injection auditor (:mod:`repro.faultinject.auditor`) calls
+        this at drain time.
+        """
+        leaks: Dict[str, List] = {}
+        if self._pending:
+            leaks["pending"] = sorted(self._pending)
+        if self._probes_in_flight:
+            leaks["probes_in_flight"] = sorted(self._probes_in_flight)
+        members = set(self._members)
+        resurrected = sorted(
+            {
+                name
+                for repo in self._repositories.values()
+                for name in repo.replicas()
+                if name not in members
+            }
+        )
+        if resurrected:
+            leaks["resurrected_replicas"] = resurrected
+        return leaks
 
     def __repr__(self) -> str:
         return (

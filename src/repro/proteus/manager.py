@@ -201,6 +201,14 @@ class DependabilityManager:
         """Hosts currently running replicas of ``service`` (live view)."""
         return list(self.group_comm.view(service).members)
 
+    def all_handlers(self) -> List[TimingFaultServerHandler]:
+        """Every server handler ever started, in start order.
+
+        Includes evicted/crashed replicas — exactly what a drain-time
+        lifecycle audit needs to inspect.
+        """
+        return list(self._handlers.values())
+
     # -- fault wiring --------------------------------------------------------
     def _wire_faults(self, key: tuple) -> None:
         assert self._injector is not None

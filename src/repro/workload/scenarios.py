@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..core.qos import QoSSpec
 from ..core.selection import SelectionPolicy
+from ..faultinject.auditor import AuditReport, LifecycleAuditor
 from ..gateway.handlers.timing_fault import TimingFaultClientHandler
 from ..group.ensemble import GroupCommunication
 from ..group.failure_detector import FailureDetector
@@ -190,6 +191,9 @@ class Scenario:
         self.clients: Dict[str, ClosedLoopClient] = {}
         self.open_clients: Dict[str, OpenLoopClient] = {}
         self.handlers: Dict[str, TimingFaultClientHandler] = {}
+        # Tracks every client submission so experiments can assert the
+        # request-lifecycle invariants after the run (see audit_lifecycle).
+        self.auditor = LifecycleAuditor()
 
     # -- replica profiles ------------------------------------------------------
     def _profile_for(self, host: str) -> ServiceProfile:
@@ -305,6 +309,7 @@ class Scenario:
             **handler_kwargs,
         )
         gateway.load_handler(handler)
+        self.auditor.watch_client(handler)
         # Each client process gets its own ORB, like separate CORBA
         # applications on separate hosts.
         orb = Orb()
@@ -349,6 +354,19 @@ class Scenario:
             raise RuntimeError(
                 f"clients {unfinished} did not finish before {limit_ms} ms"
             )
+
+    # -- lifecycle auditing ------------------------------------------------
+    def audit_lifecycle(self) -> AuditReport:
+        """Assert the request-lifecycle invariants after a drained run.
+
+        Registers every replica ever started (crashed ones included) and
+        raises :class:`~repro.faultinject.auditor.LifecycleViolation` on
+        leaked pending/alias/probe state, resurrection, or a request that
+        did not complete exactly once.
+        """
+        for handler in self.manager.all_handlers():
+            self.auditor.watch_server(handler)
+        return self.auditor.assert_clean()
 
     def __repr__(self) -> str:
         return (
