@@ -25,6 +25,7 @@ __all__ = [
     "LowestMeanPolicy",
     "NearestPolicy",
     "ProbeEstimatePolicy",
+    "StaticMinResponsePolicy",
 ]
 
 
@@ -211,3 +212,44 @@ class ProbeEstimatePolicy(SelectionPolicy):
 
         ordered = sorted(ctx.replicas, key=lambda r: (estimate(r), r))
         return SelectionDecision(selected=tuple(ordered[: self.redundancy]))
+
+
+class StaticMinResponsePolicy(SelectionPolicy):
+    """Rank by the static response-time *floor*; the starvation fallback.
+
+    Estimates each replica's best case as ``T_i + min(S_i window)`` —
+    the last measured gateway delay plus the cheapest service time ever
+    seen in the window.  Unlike the pmf model this uses no probability
+    mass and no queue state, so it stays meaningful when the windows have
+    gone stale: network proximity and intrinsic service cost change far
+    more slowly than load.  The selection layer's degradation ladder
+    (docs/ARCHITECTURE.md §5) delegates here when every usable window is
+    older than ``stale_after_ms`` — trusting a static floor beats
+    trusting a dead model.  Replicas without history rank last; with no
+    data at all the order degenerates to name order (deterministic).
+    """
+
+    name = "static-min-response"
+
+    def __init__(self, redundancy: int = 2):
+        if redundancy < 1:
+            raise ValueError(f"redundancy must be >= 1, got {redundancy}")
+        self.redundancy = int(redundancy)
+
+    def decide(self, ctx: SelectionContext) -> SelectionDecision:
+        repository = ctx.estimator.repository
+
+        def floor(replica: str) -> float:
+            if replica not in repository:
+                return float("inf")
+            record = repository.record(replica)
+            if not record.has_history:
+                return float("inf")
+            assert record.gateway_delay_ms is not None
+            return record.gateway_delay_ms + min(record.service_times.values())
+
+        ordered = sorted(ctx.replicas, key=lambda r: (floor(r), r))
+        return SelectionDecision(
+            selected=tuple(ordered[: self.redundancy]),
+            meta={"policy": self.name},
+        )

@@ -272,6 +272,24 @@ class InformationRepository:
         """Replicas for which a response-time model can be built."""
         return [name for name in self.replicas() if self._records[name].has_history]
 
+    def staleness(self, now_ms: float, name: Optional[str] = None) -> float:
+        """Milliseconds since the last update.
+
+        With ``name``, the staleness of that replica's record (KeyError if
+        untracked).  Without it, the *minimum* staleness across all
+        records — the age of the freshest information any model built
+        from this repository rests on (``inf`` when no record has ever
+        been updated).  The selection layer's degradation ladder uses
+        this to decide when the model is too stale to trust.
+        """
+        if name is not None:
+            return self.record(name).staleness(now_ms)
+        if not self._records:
+            return float("inf")
+        return min(
+            record.staleness(now_ms) for record in self._records.values()
+        )
+
     def all_have_history(self) -> bool:
         """Whether every tracked replica has usable history."""
         return bool(self._records) and all(

@@ -19,7 +19,7 @@ measured execution time of the selection itself.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -189,6 +189,11 @@ class SelectionContext:
         Random generator for stochastic policies.
     distance:
         Optional static distance metric (for nearest-replica baselines).
+    health:
+        Optional health view (duck-typed like
+        :class:`repro.health.HealthMonitor`: ``is_quarantined(name)`` and
+        ``discount(name)``).  Policies that honor it exclude quarantined
+        replicas and scale ``F_{R_i}(t)`` by the trust discount.
     """
 
     replicas: List[str]
@@ -197,6 +202,7 @@ class SelectionContext:
     now_ms: float
     rng: np.random.Generator
     distance: Optional[Callable[[str], float]] = None
+    health: Optional[object] = None
 
 
 @dataclass(frozen=True)
@@ -241,6 +247,16 @@ class DynamicSelectionPolicy(SelectionPolicy):
     fixed_overhead_ms:
         Overrides the measured ``δ`` with a constant — useful for
         deterministic tests and for simulating slower selection hosts.
+    stale_after_ms:
+        Degradation-ladder threshold: when *every* usable replica record
+        is older than this, the pmf model is starved (a dead model keeps
+        reporting its last — possibly excellent — probabilities forever)
+        and the decision is delegated to ``stale_fallback`` instead.
+        ``None`` (the default) disables the ladder.
+    stale_fallback:
+        Policy consulted when the model is stale; defaults to the static
+        min-response baseline
+        (:class:`repro.core.baselines.StaticMinResponsePolicy`).
     """
 
     name = "dynamic"
@@ -250,14 +266,28 @@ class DynamicSelectionPolicy(SelectionPolicy):
         crash_tolerance: int = 1,
         compensate_overhead: bool = True,
         fixed_overhead_ms: Optional[float] = None,
+        stale_after_ms: Optional[float] = None,
+        stale_fallback: Optional[SelectionPolicy] = None,
     ):
         if fixed_overhead_ms is not None and fixed_overhead_ms < 0:
             raise ValueError(
                 f"fixed_overhead_ms must be >= 0, got {fixed_overhead_ms}"
             )
+        if stale_after_ms is not None and stale_after_ms <= 0:
+            raise ValueError(
+                f"stale_after_ms must be > 0, got {stale_after_ms}"
+            )
         self.crash_tolerance = int(crash_tolerance)
         self.compensate_overhead = bool(compensate_overhead)
         self.fixed_overhead_ms = fixed_overhead_ms
+        self.stale_after_ms = stale_after_ms
+        if stale_fallback is None and stale_after_ms is not None:
+            # Local import: baselines imports this module for the policy
+            # interface, so the default fallback must resolve lazily.
+            from .baselines import StaticMinResponsePolicy
+
+            stale_fallback = StaticMinResponsePolicy()
+        self.stale_fallback = stale_fallback
         #: δ from the previous execution, milliseconds (paper measures it
         #: "each time the selection algorithm is executed").
         self.last_overhead_ms = 0.0
@@ -265,9 +295,35 @@ class DynamicSelectionPolicy(SelectionPolicy):
     def decide(self, ctx: SelectionContext) -> SelectionDecision:
         started = time.perf_counter()
 
+        # Health, rung 0 of the degradation ladder: quarantined replicas
+        # receive no client traffic.  Should *every* live replica be
+        # quarantined, the guarantee is unattainable either way — keep
+        # the full set (best effort) and flag the override so the handler
+        # exempts this request from the no-traffic-to-quarantined audit.
+        replicas = list(ctx.replicas)
+        quarantined: Tuple[str, ...] = ()
+        quarantine_override = False
+        if ctx.health is not None and replicas:
+            quarantined = tuple(
+                r for r in replicas if ctx.health.is_quarantined(r)
+            )
+            if quarantined:
+                active = [r for r in replicas if r not in set(quarantined)]
+                if active:
+                    replicas = active
+                else:
+                    quarantine_override = True
+
+        def annotate(meta: Dict[str, object]) -> Dict[str, object]:
+            if quarantined:
+                meta["quarantined"] = quarantined
+                meta["quarantine_override"] = quarantine_override
+            return meta
+
         # Bootstrap (paper §5.4.1): with no performance data for some
         # replica there is no model for it; the first access selects all
-        # replicas so that every one starts publishing updates.
+        # (non-quarantined) replicas so that every one starts publishing
+        # updates.
         candidates: List[ReplicaProbability] = []
         missing_history = False
         deadline = ctx.qos.deadline_ms
@@ -282,14 +338,14 @@ class DynamicSelectionPolicy(SelectionPolicy):
         # it (cache-hot requests then cost a single vectorized compare);
         # per-replica queries otherwise.
         batch = getattr(ctx.estimator, "batch_probability_by", None)
-        if batch is not None and ctx.replicas:
-            probabilities = batch(ctx.replicas, deadline)
+        if batch is not None and replicas:
+            probabilities = batch(replicas, deadline)
         else:
             probabilities = [
                 ctx.estimator.probability_by(replica, deadline)
-                for replica in ctx.replicas
+                for replica in replicas
             ]
-        for replica, probability in zip(ctx.replicas, probabilities):
+        for replica, probability in zip(replicas, probabilities):
             if probability is None:
                 missing_history = True
                 break
@@ -298,9 +354,48 @@ class DynamicSelectionPolicy(SelectionPolicy):
         if missing_history or not candidates:
             self.last_overhead_ms = (time.perf_counter() - started) * 1000.0
             return SelectionDecision(
-                selected=tuple(ctx.replicas),
-                meta={"bootstrap": True, "fallback": False},
+                selected=tuple(replicas),
+                meta=annotate({"bootstrap": True, "fallback": False}),
             )
+
+        # Rung 2: every usable record is stale — the model is starved
+        # (no updates can arrive from replicas nobody hears from), so its
+        # probabilities describe the past, not the present.  Delegate to
+        # the static fallback rather than trusting a dead model.
+        if self.stale_after_ms is not None:
+            repository = getattr(ctx.estimator, "repository", None)
+            if repository is not None and all(
+                repository.staleness(ctx.now_ms, c.name) > self.stale_after_ms
+                for c in candidates
+            ):
+                fallback_ctx = replace(ctx, replicas=replicas)
+                delegated = self.stale_fallback.decide(fallback_ctx)
+                self.last_overhead_ms = (
+                    time.perf_counter() - started
+                ) * 1000.0
+                meta = dict(delegated.meta)
+                meta.update(
+                    {
+                        "degraded": "stale-model",
+                        "stale_after_ms": self.stale_after_ms,
+                        "bootstrap": False,
+                        "fallback": False,
+                    }
+                )
+                return SelectionDecision(
+                    selected=delegated.selected, meta=annotate(meta)
+                )
+
+        # Health-discounted F_{R_i}(t): suspected/probation replicas keep
+        # competing, but with their probability scaled by the monitor's
+        # trust discount.
+        if ctx.health is not None:
+            candidates = [
+                ReplicaProbability(
+                    c.name, c.probability * ctx.health.discount(c.name)
+                )
+                for c in candidates
+            ]
 
         result = select_replicas(
             candidates,
@@ -310,15 +405,17 @@ class DynamicSelectionPolicy(SelectionPolicy):
         self.last_overhead_ms = (time.perf_counter() - started) * 1000.0
         return SelectionDecision(
             selected=result.selected,
-            meta={
-                "bootstrap": False,
-                "fallback": result.used_fallback,
-                "crash_safe_probability": result.crash_safe_probability,
-                "full_probability": result.full_probability,
-                "effective_deadline_ms": deadline,
-                "overhead_ms": self.last_overhead_ms,
-                "probabilities": {
-                    c.name: c.probability for c in candidates
-                },
-            },
+            meta=annotate(
+                {
+                    "bootstrap": False,
+                    "fallback": result.used_fallback,
+                    "crash_safe_probability": result.crash_safe_probability,
+                    "full_probability": result.full_probability,
+                    "effective_deadline_ms": deadline,
+                    "overhead_ms": self.last_overhead_ms,
+                    "probabilities": {
+                        c.name: c.probability for c in candidates
+                    },
+                }
+            ),
         )

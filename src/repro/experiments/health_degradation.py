@@ -1,0 +1,226 @@
+"""Ablation A15 — the health subsystem under persistent degradation.
+
+A five-replica deployment serves one closed-loop client while one replica
+silently drops every message for a two-second window (a persistent
+degradation, not a crash: the failure detector never fires).  Without the
+health subsystem the selection model starves — the degraded replica's
+window never refreshes, its stale-good F(t) keeps winning the tie-break,
+and every in-window request burns the full response timeout.  With the
+health subsystem the replica is suspected, quarantined, routed around,
+and re-admitted through probation probes once the window lifts.
+
+The table reports the timely fraction inside the degradation window, the
+overall timely fraction, and the number of quarantine transitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.qos import QoSSpec
+from ..core.selection import DynamicSelectionPolicy
+from ..faultinject import DegradationFault, FaultSchedule, FaultyTransport
+from ..gateway.gateway import Gateway
+from ..gateway.handlers.timing_fault import (
+    TimingFaultClientHandler,
+    TimingFaultServerHandler,
+)
+from ..group.ensemble import GroupCommunication
+from ..group.failure_detector import FailureDetector
+from ..health import HealthConfig, HealthState
+from ..net.lan import LanModel, LinkProfile
+from ..net.transport import Transport
+from ..orb.iiop import MarshallingModel
+from ..orb.orb import Orb
+from ..replica.load import ServiceProfile
+from ..replica.server import ReplicaApplication
+from ..sim.kernel import Simulator
+from ..sim.random import Constant, RandomStreams
+from ..workload.scenarios import IntegerServant, make_interface
+from .harness import average, print_table
+
+__all__ = ["DegradationPoint", "run_one", "run", "main"]
+
+SERVICE = "search"
+METHOD = "process"
+REPLICAS = tuple(f"s-{i + 1}" for i in range(5))
+WINDOW_START, WINDOW_END = 500.0, 2500.0
+
+
+@dataclass(frozen=True)
+class DegradationPoint:
+    """Averaged metrics for one (variant) row of the comparison."""
+
+    variant: str
+    window_timely_fraction: float
+    overall_timely_fraction: float
+    quarantine_transitions: float
+    runs: int
+
+
+def _build_stack(seed: int, fault_seed: int, with_health: bool):
+    sim = Simulator()
+    streams = RandomStreams(seed=seed)
+    profile = LinkProfile(
+        stack_ms=1.0, per_kb_ms=0.0, per_member_ms=0.0, jitter=Constant(0.0)
+    )
+    lan = LanModel(streams, default_profile=profile)
+    schedule = FaultSchedule(
+        degradations=(
+            DegradationFault(
+                host=REPLICAS[0],
+                start_ms=WINDOW_START,
+                end_ms=WINDOW_END,
+                omission_probability=1.0,
+            ),
+        )
+    )
+    transport = FaultyTransport(
+        Transport(sim, lan),
+        schedule=schedule,
+        rng=np.random.default_rng(fault_seed),
+    )
+    detector = FailureDetector(sim, lan, poll_interval_ms=10.0, confirm_polls=2)
+    group_comm = GroupCommunication(
+        sim, lan, transport, notify_delay_ms=1.0, failure_detector=detector
+    )
+    marshalling = MarshallingModel(base_ms=0.0, per_kb_ms=0.0, envelope_bytes=0)
+    interface = make_interface(SERVICE, METHOD)
+
+    for host in REPLICAS:
+        lan.add_host(host)
+        app = ReplicaApplication(
+            host=host,
+            servant=IntegerServant(interface, METHOD),
+            profile=ServiceProfile(default=Constant(8.0)),
+            streams=streams,
+        )
+        server = TimingFaultServerHandler(
+            sim=sim, app=app, transport=transport, marshalling=marshalling
+        )
+        Gateway(host, sim, transport).load_handler(server)
+        group_comm.join(SERVICE, host, watch=True)
+
+    lan.add_host("client-1")
+    kwargs = {}
+    if with_health:
+        kwargs["health_config"] = HealthConfig(
+            suspect_after=2,
+            quarantine_after=1,
+            probation_after=2,
+            backoff_initial_ms=400.0,
+            backoff_factor=2.0,
+            backoff_max_ms=3200.0,
+        )
+    client = TimingFaultClientHandler(
+        sim=sim,
+        host="client-1",
+        transport=transport,
+        group_comm=group_comm,
+        interface=interface,
+        qos=QoSSpec(SERVICE, 100.0, 0.9),
+        marshalling=marshalling,
+        selection_charge_ms=0.0,
+        rng=streams.stream("client-1.policy"),
+        policy=DynamicSelectionPolicy(crash_tolerance=0),
+        response_timeout_factor=3.0,
+        probe_interval_ms=200.0,
+        **kwargs,
+    )
+    Gateway("client-1", sim, transport).load_handler(client)
+    orb = Orb()
+    orb.register_interface(interface)
+    orb.bind_interceptor(SERVICE, client)
+    return sim, client, orb.stub(SERVICE)
+
+
+def run_one(
+    with_health: bool,
+    seed: int,
+    fault_seed: int = 11,
+    num_requests: int = 150,
+):
+    """One run; returns (window fraction, overall fraction, transitions)."""
+    sim, client, stub = _build_stack(seed, fault_seed, with_health)
+    outcomes = []
+
+    def load():
+        for i in range(num_requests):
+            t0 = sim.now
+            event = stub.invoke(METHOD, i)
+            yield event
+            outcomes.append((t0, event.value))
+            yield sim.timeout(5.0)
+
+    sim.spawn(load(), name="load.client-1")
+    sim.run()
+    sim.run(until=6000.0)  # let re-admission probes finish
+
+    in_window = [
+        v.timely for t0, v in outcomes if WINDOW_START <= t0 < WINDOW_END
+    ]
+    overall = [v.timely for _t0, v in outcomes]
+    transitions = 0
+    if client.health is not None:
+        transitions = sum(
+            1
+            for e in client.health.events
+            if e.new_state is HealthState.QUARANTINED
+        )
+    return (
+        sum(in_window) / max(len(in_window), 1),
+        sum(overall) / max(len(overall), 1),
+        transitions,
+    )
+
+
+def run(
+    seeds: Sequence[int] = (0, 1, 2),
+    num_requests: int = 150,
+) -> List[DegradationPoint]:
+    """Compare the health-enabled client against the no-health baseline."""
+    points = []
+    for with_health, name in ((True, "health"), (False, "no-health")):
+        window, overall, transitions = [], [], []
+        for seed in seeds:
+            w, o, q = run_one(with_health, seed, num_requests=num_requests)
+            window.append(w)
+            overall.append(o)
+            transitions.append(q)
+        points.append(
+            DegradationPoint(
+                variant=name,
+                window_timely_fraction=average(window),
+                overall_timely_fraction=average(overall),
+                quarantine_transitions=average(transitions),
+                runs=len(seeds),
+            )
+        )
+    return points
+
+
+def main() -> None:
+    """Print the persistent-degradation comparison table."""
+    points = run()
+    rows = [
+        (
+            p.variant,
+            p.window_timely_fraction,
+            p.overall_timely_fraction,
+            p.quarantine_transitions,
+        )
+        for p in points
+    ]
+    print_table(
+        "Persistent degradation: s-1 drops all traffic in [500, 2500) ms "
+        "(deadline 100 ms, Pc = 0.9)",
+        ["variant", "window timely", "overall timely", "quarantines"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    main()

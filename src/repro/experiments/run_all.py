@@ -19,6 +19,7 @@ from . import (
     factors,
     fig3_overhead,
     fig45_selection,
+    health_degradation,
     method_classification,
     min_response,
     omission_faults,
@@ -49,6 +50,7 @@ ALL_EXPERIMENTS = [
     ("A12 co-location interference", colocation),
     ("A13 redundancy vs retransmission", retransmission),
     ("A14 adaptation timeline", adaptation_timeline),
+    ("A15 health under degradation", health_degradation),
 ]
 
 

@@ -4,7 +4,7 @@ Three composable layers:
 
 * :mod:`~repro.faultinject.schedule` — declarative fault schedules
   (drops, delay spikes, duplicated/late replies, crash+restart, view
-  churn) plus a randomized-schedule generator;
+  churn, persistent degradation) plus a randomized-schedule generator;
 * :mod:`~repro.faultinject.transport` /
   :mod:`~repro.faultinject.drivers` — interpreters that apply a schedule
   to a running deployment (message level and host level respectively);
@@ -26,6 +26,7 @@ from .drivers import LifecycleFaultDriver
 from .schedule import (
     ChurnFault,
     CrashRestartFault,
+    DegradationFault,
     DelayRule,
     DropRule,
     DuplicateRule,
@@ -38,6 +39,7 @@ __all__ = [
     "AuditReport",
     "ChurnFault",
     "CrashRestartFault",
+    "DegradationFault",
     "DelayRule",
     "DropRule",
     "DuplicateRule",

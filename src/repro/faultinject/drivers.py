@@ -26,9 +26,34 @@ from ..group.ensemble import GroupCommunication
 from ..net.lan import LanModel
 from ..sim.kernel import Simulator
 from ..sim.trace import NullTracer, Tracer
-from .schedule import ChurnFault, CrashRestartFault, FaultSchedule
+from .schedule import (
+    ChurnFault,
+    CrashRestartFault,
+    DegradationFault,
+    FaultSchedule,
+)
 
 __all__ = ["LifecycleFaultDriver"]
+
+
+class _SlowedProfile:
+    """A service profile proxy multiplying every sampled duration.
+
+    Delegates everything else to the wrapped profile, so CoupledLoad
+    coupling and per-method distributions keep working while degraded.
+    """
+
+    def __init__(self, inner, slow_factor: float):
+        self._inner = inner
+        self._slow_factor = float(slow_factor)
+
+    def sample_duration(self, method: str, now_ms: float, rng) -> float:
+        return self._slow_factor * self._inner.sample_duration(
+            method, now_ms, rng
+        )
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
 
 
 class LifecycleFaultDriver:
@@ -63,6 +88,8 @@ class LifecycleFaultDriver:
         self.restarts_applied = 0
         self.leaves_applied = 0
         self.rejoins_applied = 0
+        self.degradations_applied = 0
+        self.degradations_lifted = 0
 
     # -- scheduling ------------------------------------------------------------
     def apply(self, schedule: FaultSchedule) -> None:
@@ -71,6 +98,8 @@ class LifecycleFaultDriver:
             self.apply_crash(fault)
         for fault in schedule.churn:
             self.apply_churn(fault)
+        for fault in schedule.degradations:
+            self.apply_degradation(fault)
 
     def apply_crash(self, fault: CrashRestartFault) -> None:
         if fault.host not in self.servers:
@@ -87,6 +116,21 @@ class LifecycleFaultDriver:
             self.sim.call_at(
                 fault.rejoin_at_ms, lambda: self.rejoin_now(fault.member)
             )
+
+    def apply_degradation(self, fault: DegradationFault) -> None:
+        """Arm the slow-factor half of a degradation window.
+
+        The omission half is interpreted on the wire by
+        :class:`~repro.faultinject.transport.FaultyTransport` (the same
+        schedule object must be handed to both).
+        """
+        if fault.host not in self.servers:
+            raise KeyError(f"no server handler for host {fault.host!r}")
+        if fault.slow_factor > 1.0:
+            self.sim.call_at(
+                fault.start_ms, lambda: self.degrade_now(fault)
+            )
+            self.sim.call_at(fault.end_ms, lambda: self.recover_now(fault))
 
     # -- crash / restart -------------------------------------------------------
     def crash_now(self, host: str) -> None:
@@ -110,6 +154,28 @@ class LifecycleFaultDriver:
             self.group_comm.join(self.service, host, watch=True)
         self.restarts_applied += 1
         self.tracer.emit(self.sim.now, "faultinject", "fault.restart", host=host)
+
+    # -- degradation -----------------------------------------------------------
+    def degrade_now(self, fault: DegradationFault) -> None:
+        """Wrap the host's service profile with the slow factor."""
+        app = self.servers[fault.host].app
+        app.profile = _SlowedProfile(app.profile, fault.slow_factor)
+        self.degradations_applied += 1
+        self.tracer.emit(
+            self.sim.now, "faultinject", "fault.degrade",
+            host=fault.host, slow_factor=fault.slow_factor,
+        )
+
+    def recover_now(self, fault: DegradationFault) -> None:
+        """Unwrap one layer of slowdown (overlapping windows nest)."""
+        app = self.servers[fault.host].app
+        if isinstance(app.profile, _SlowedProfile):
+            app.profile = app.profile._inner
+            self.degradations_lifted += 1
+            self.tracer.emit(
+                self.sim.now, "faultinject", "fault.degrade-end",
+                host=fault.host,
+            )
 
     # -- view churn ------------------------------------------------------------
     def leave_now(self, member: str) -> None:

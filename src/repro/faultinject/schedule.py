@@ -35,6 +35,7 @@ __all__ = [
     "DuplicateRule",
     "CrashRestartFault",
     "ChurnFault",
+    "DegradationFault",
     "FaultSchedule",
     "random_fault_schedule",
 ]
@@ -158,6 +159,49 @@ class ChurnFault:
 
 
 @dataclass(frozen=True)
+class DegradationFault:
+    """Persistently degrade ``host`` over a time window (not fail-stop).
+
+    The replica keeps running but gets worse — the health subsystem's
+    nemesis: a crashed host is evicted by the failure detector, while a
+    degraded one stays in the view and keeps poisoning the model.
+
+    * ``slow_factor`` multiplies its service durations (load/overheat);
+      the :class:`~repro.faultinject.drivers.LifecycleFaultDriver` applies
+      it by wrapping the replica's service profile.
+    * ``omission_probability`` drops messages to/from the host on the
+      wire (dying NIC); interpreted by
+      :class:`~repro.faultinject.transport.FaultyTransport`.
+    """
+
+    host: str
+    start_ms: float
+    end_ms: float
+    slow_factor: float = 1.0
+    omission_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        _window_ok(self.start_ms, self.end_ms)
+        if self.slow_factor < 1.0:
+            raise ValueError(
+                f"slow_factor must be >= 1, got {self.slow_factor}"
+            )
+        if not 0.0 <= self.omission_probability <= 1.0:
+            raise ValueError(
+                "omission_probability must be in [0, 1], got "
+                f"{self.omission_probability}"
+            )
+        if self.slow_factor == 1.0 and self.omission_probability == 0.0:
+            raise ValueError(
+                "degradation must slow the host or drop its messages"
+            )
+
+    def active(self, now_ms: float) -> bool:
+        """Whether the window covers ``now_ms``."""
+        return self.start_ms <= now_ms < self.end_ms
+
+
+@dataclass(frozen=True)
 class FaultSchedule:
     """A full scripted fault scenario; all families default to empty."""
 
@@ -166,6 +210,7 @@ class FaultSchedule:
     duplicates: Tuple[DuplicateRule, ...] = ()
     crashes: Tuple[CrashRestartFault, ...] = ()
     churn: Tuple[ChurnFault, ...] = ()
+    degradations: Tuple[DegradationFault, ...] = ()
 
     def merged(self, other: "FaultSchedule") -> "FaultSchedule":
         """Union of two schedules (composable scenarios)."""
@@ -175,6 +220,7 @@ class FaultSchedule:
             duplicates=self.duplicates + other.duplicates,
             crashes=self.crashes + other.crashes,
             churn=self.churn + other.churn,
+            degradations=self.degradations + other.degradations,
         )
 
     def __len__(self) -> int:
@@ -184,6 +230,7 @@ class FaultSchedule:
             + len(self.duplicates)
             + len(self.crashes)
             + len(self.churn)
+            + len(self.degradations)
         )
 
 
@@ -201,6 +248,9 @@ def random_fault_schedule(
     crash_restarts: int = 2,
     churn_events: int = 2,
     window_fraction: float = 0.15,
+    degradations: int = 0,
+    max_slow_factor: float = 4.0,
+    degradation_omission_probability: float = 0.7,
 ) -> FaultSchedule:
     """Draw a randomized schedule over ``[0, horizon_ms)``.
 
@@ -208,6 +258,12 @@ def random_fault_schedule(
     each; crashes always restart and churned members always rejoin, so a
     long-enough run converges back to the full view (the property the
     lifecycle auditor's drain-time invariants rely on).
+
+    ``degradations`` (default 0, keeping historic schedules bit-for-bit
+    identical for a given seed) adds that many persistent-degradation
+    windows, each picking one replica, a slow factor in
+    ``[1.5, max_slow_factor]`` and the given omission probability.  The
+    windows always end before the horizon, so a drained run has recovered.
     """
     if horizon_ms <= 0:
         raise ValueError(f"horizon_ms must be > 0, got {horizon_ms}")
@@ -269,10 +325,28 @@ def random_fault_schedule(
         churn.append(
             ChurnFault(member=member, leave_at_ms=leave_at, rejoin_at_ms=rejoin_at)
         )
+    degraded = []
+    # Drawn last so degradations=0 reproduces historic schedules exactly.
+    for _ in range(degradations):
+        host = str(rng.choice(list(replicas)))
+        start, end = window()
+        end = min(end, horizon_ms * 0.85)  # leave room to recover
+        if end <= start:
+            start = max(0.0, end - max(1.0, window_fraction * horizon_ms))
+        degraded.append(
+            DegradationFault(
+                host=host,
+                start_ms=start,
+                end_ms=end,
+                slow_factor=float(rng.uniform(1.5, max_slow_factor)),
+                omission_probability=degradation_omission_probability,
+            )
+        )
     return FaultSchedule(
         drops=tuple(drops),
         delays=tuple(delays),
         duplicates=tuple(duplicates),
         crashes=tuple(crashes),
         churn=tuple(churn),
+        degradations=tuple(degraded),
     )

@@ -62,6 +62,7 @@ class FaultyTransport:
         self.injected_drops = 0
         self.injected_delays = 0
         self.injected_duplicates = 0
+        self.injected_degradation_drops = 0
 
     # -- wiring (delegated) ----------------------------------------------------
     def bind(self, host_name: str, receiver) -> None:
@@ -107,6 +108,24 @@ class FaultyTransport:
                 self.injected_drops += 1
                 self.tracer.emit(
                     now, "faultinject", "fault.drop", **message.describe()
+                )
+                return 0.0
+
+        # Degradation omissions: a degraded host's NIC loses traffic in
+        # both directions — messages it sends and messages sent to it.
+        for fault in self.schedule.degradations:
+            if fault.omission_probability <= 0.0 or not fault.active(now):
+                continue
+            if message.sender != fault.host and message.destination != fault.host:
+                continue
+            if (
+                fault.omission_probability >= 1.0
+                or self.rng.random() < fault.omission_probability
+            ):
+                self.injected_degradation_drops += 1
+                self.tracer.emit(
+                    now, "faultinject", "fault.degradation-drop",
+                    host=fault.host, **message.describe(),
                 )
                 return 0.0
 

@@ -39,10 +39,19 @@ class BestSinglePolicy(SelectionPolicy):
             )
             return (-(probability if probability is not None else -1.0), replica)
 
-        ranking = sorted(ctx.replicas, key=key)
-        return SelectionDecision(
-            selected=tuple(ranking[:1]), meta={"ranking": ranking}
-        )
+        replicas = list(ctx.replicas)
+        meta: Dict[str, object] = {}
+        if ctx.health is not None:
+            usable = [r for r in replicas if not ctx.health.is_quarantined(r)]
+            if usable:
+                replicas = usable
+            elif replicas:
+                # Every replica quarantined: trying one beats refusing to
+                # serve; flag the override so the audit exempts it.
+                meta["quarantine_override"] = True
+        ranking = sorted(replicas, key=key)
+        meta["ranking"] = ranking
+        return SelectionDecision(selected=tuple(ranking[:1]), meta=meta)
 
 
 class RetransmittingClientHandler(TimingFaultClientHandler):
@@ -51,10 +60,19 @@ class RetransmittingClientHandler(TimingFaultClientHandler):
     Parameters (beyond the base handler's)
     --------------------------------------
     retry_timeout_ms:
-        How long to wait for a reply before retransmitting.  ``None``
-        defaults to half the QoS deadline — a common rule of thumb.
+        How long to wait for a reply before the *first* retransmission.
+        ``None`` defaults to half the QoS deadline — a common rule of
+        thumb.
     max_retries:
         Retransmissions per request after the initial send.
+    retry_backoff_factor:
+        Each successive retransmission of the same request waits
+        ``factor`` times longer than the previous one (classic
+        exponential backoff; 1.0 restores the fixed-interval strategy).
+    retry_timeout_cap_ms:
+        Upper bound on any single retry wait.  ``None`` defaults to
+        ``max(base timeout, deadline)`` — backing off past the deadline
+        only delays the inevitable timeout accounting.
     """
 
     def __init__(
@@ -62,6 +80,8 @@ class RetransmittingClientHandler(TimingFaultClientHandler):
         *args,
         retry_timeout_ms: Optional[float] = None,
         max_retries: int = 2,
+        retry_backoff_factor: float = 2.0,
+        retry_timeout_cap_ms: Optional[float] = None,
         **kwargs,
     ):
         if "policy" in kwargs and kwargs["policy"] is not None:
@@ -74,10 +94,20 @@ class RetransmittingClientHandler(TimingFaultClientHandler):
             )
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff_factor < 1.0:
+            raise ValueError(
+                f"retry_backoff_factor must be >= 1, got {retry_backoff_factor}"
+            )
+        if retry_timeout_cap_ms is not None and retry_timeout_cap_ms <= 0:
+            raise ValueError(
+                f"retry_timeout_cap_ms must be > 0, got {retry_timeout_cap_ms}"
+            )
         kwargs["policy"] = BestSinglePolicy()
         super().__init__(*args, **kwargs)
         self.retry_timeout_ms = retry_timeout_ms
         self.max_retries = int(max_retries)
+        self.retry_backoff_factor = float(retry_backoff_factor)
+        self.retry_timeout_cap_ms = retry_timeout_cap_ms
         self.retransmissions = 0
         # msg_id of a retransmitted copy -> (original msg_id, copy sent at).
         # Entries are popped when the copy's reply folds back and when the
@@ -87,10 +117,24 @@ class RetransmittingClientHandler(TimingFaultClientHandler):
         # original msg_id -> copy msg_ids, for cleanup on forget.
         self._copies: Dict[int, List[int]] = {}
 
-    def _effective_retry_timeout(self) -> float:
-        if self.retry_timeout_ms is not None:
-            return self.retry_timeout_ms
-        return self.qos.deadline_ms / 2.0
+    def _effective_retry_timeout(self, attempt: int = 1) -> float:
+        """Wait before retransmission number ``attempt`` (1-based).
+
+        Exponential backoff: ``base × factor^(attempt−1)``, bounded by
+        ``retry_timeout_cap_ms`` (default: whichever of the base timeout
+        and the deadline is larger).
+        """
+        base = (
+            self.retry_timeout_ms
+            if self.retry_timeout_ms is not None
+            else self.qos.deadline_ms / 2.0
+        )
+        cap = (
+            self.retry_timeout_cap_ms
+            if self.retry_timeout_cap_ms is not None
+            else max(base, self.qos.deadline_ms)
+        )
+        return min(base * self.retry_backoff_factor ** (attempt - 1), cap)
 
     # -- request path ----------------------------------------------------------
     def _dispatch(self, request, call, t0: float, outcome_event: Event) -> int:
@@ -116,7 +160,7 @@ class RetransmittingClientHandler(TimingFaultClientHandler):
         if attempt > self.max_retries:
             return
         self.sim.call_in(
-            self._effective_retry_timeout(),
+            self._effective_retry_timeout(attempt),
             lambda: self._maybe_retransmit(msg_id, call, ranking, tried, attempt),
         )
 
@@ -131,7 +175,20 @@ class RetransmittingClientHandler(TimingFaultClientHandler):
         pending = self._pending.get(msg_id)
         if pending is None or pending.completed:
             return
+        if self.health is not None:
+            # A retry timeout is omission evidence against every replica
+            # addressed so far that stayed silent; the `faulted` set keeps
+            # the final response timeout from billing the same silence.
+            for silent in sorted(
+                pending.expected - pending.replied - pending.faulted
+            ):
+                pending.faulted.add(silent)
+                self.health.record_fault(silent, self.sim.now, kind="omission")
         live = set(self._members)
+        if self.health is not None:
+            usable = {r for r in live if not self.health.is_quarantined(r)}
+            if usable:  # all-quarantined: fall through with the full view
+                live = usable
         candidates = [r for r in ranking if r in live and r not in tried]
         if not candidates:
             candidates = [r for r in ranking if r in live]

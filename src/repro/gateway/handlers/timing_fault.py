@@ -49,6 +49,7 @@ from ...core.selection import (
 )
 from ...group.ensemble import GroupCommunication
 from ...group.membership import GroupView, MembershipError
+from ...health import HealthConfig, HealthMonitor
 from ...metrics.collector import MetricsCollector
 from ...net.message import Message
 from ...orb.iiop import MarshalledReply, MarshallingModel
@@ -378,6 +379,10 @@ class _PendingRequest:
     expired: bool = False
     expected: set = field(default_factory=set)
     replied: set = field(default_factory=set)
+    # Replicas already charged an omission fault for this request (health
+    # accounting) — a retry timeout and the final response timeout must
+    # not both bill the same silence.
+    faulted: set = field(default_factory=set)
 
 
 class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
@@ -406,7 +411,9 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
     response_timeout_factor:
         A request with no reply after ``factor × deadline`` completes as a
         timed-out failure (the paper's clients wait forever; a closed-loop
-        simulation must not).
+        simulation must not).  With an adaptive timeout quantile in
+        effect, ``factor × deadline`` becomes the *ceiling* of the
+        adaptive timeout instead.
     violation_callback:
         Invoked as ``callback(service, observed_probability, spec)`` when
         the observed timely frequency first drops below the QoS minimum.
@@ -422,6 +429,23 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
     probe_staleness_ms:
         When set, replicas whose records are older than this are probed
         out of band every ``probe_interval_ms`` (§8 extension).
+    health_config:
+        When set, the handler runs a per-replica
+        :class:`~repro.health.HealthMonitor` fed by reply outcomes,
+        omission timeouts, probe results and crash declarations; the
+        selection context then carries the health view (quarantine
+        exclusion + trust discounts) and the probe tick also serves the
+        monitor's verification/re-admission probes.
+    health_listener:
+        Optional callback receiving every
+        :class:`~repro.health.HealthEvent` (scenarios wire this to the
+        Proteus manager — the paper's fault-notification path).
+    adaptive_timeout_quantile:
+        Quantile of the selected replicas' predicted ``R_i`` pmfs used as
+        the response timeout, clamped to
+        ``[deadline, factor × deadline]``.  ``None`` inherits the
+        ``health_config`` default (and stays disabled without one), so
+        legacy configurations keep the fixed timeout bit-for-bit.
     """
 
     message_kinds = (MSG_REPLY, MSG_PERF, MSG_PROBE_REPLY)
@@ -451,6 +475,9 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         estimator_factory: Optional[
             Callable[[InformationRepository], ResponseTimeEstimator]
         ] = None,
+        health_config: Optional[HealthConfig] = None,
+        health_listener=None,
+        adaptive_timeout_quantile: Optional[float] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsCollector] = None,
     ):
@@ -476,6 +503,15 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
             raise ValueError(
                 f"probe_interval_ms must be > 0, got {probe_interval_ms}"
             )
+        if adaptive_timeout_quantile is None and health_config is not None:
+            adaptive_timeout_quantile = health_config.adaptive_timeout_quantile
+        if adaptive_timeout_quantile is not None and not (
+            0.0 < adaptive_timeout_quantile <= 1.0
+        ):
+            raise ValueError(
+                "adaptive_timeout_quantile must be in (0, 1], got "
+                f"{adaptive_timeout_quantile}"
+            )
         self.sim = sim
         self.host = host
         self.transport = transport
@@ -497,6 +533,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         self.gateway_window_size = gateway_window_size
         self.probe_staleness_ms = probe_staleness_ms
         self.probe_interval_ms = float(probe_interval_ms)
+        self.adaptive_timeout_quantile = adaptive_timeout_quantile
         # Pluggable estimator construction (e.g. QueueScaledEstimator).
         self.estimator_factory = estimator_factory
         self.probes_sent = 0
@@ -518,7 +555,8 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         )
         self.stats = TimingFailureStats(min_samples=min_violation_samples)
         self._pending: Dict[int, _PendingRequest] = {}
-        self._probes_in_flight: Dict[int, float] = {}  # msg_id -> send time
+        # msg_id -> (send time, target replica)
+        self._probes_in_flight: Dict[int, Tuple[float, str]] = {}
         self._violation_reported = False
 
         # Track the service group: seed the repositories from the current
@@ -528,7 +566,24 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         self._members = self._mgroup.members()
         self._sync_repositories()
         self._send_subscription()
-        if self.probe_staleness_ms is not None:
+
+        # Health subsystem (docs/ARCHITECTURE.md §5): state machine fed by
+        # the evidence this handler already collects.
+        self.health: Optional[HealthMonitor] = None
+        self._crash_unsubscribe = None
+        # (msg_id, offending replicas) pairs — requests dispatched to a
+        # quarantined replica.  Must stay empty; surfaced as a lifecycle
+        # leak so the fault-injection auditor enforces the invariant.
+        self.quarantined_traffic: List[Tuple[int, Tuple[str, ...]]] = []
+        if health_config is not None:
+            self.health = HealthMonitor(health_config, listener=health_listener)
+            self.health.sync_members(self._members, self.sim.now)
+            detector = getattr(group_comm, "failure_detector", None)
+            if detector is not None:
+                self._crash_unsubscribe = detector.on_crash(
+                    self._on_crash_declared
+                )
+        if self.probe_staleness_ms is not None or self.health is not None:
             self.sim.call_in(
                 self.probe_interval_ms, self._probe_tick, daemon=True
             )
@@ -578,6 +633,8 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         joined = set(view.members) - set(self._members)
         self._members = list(view.members)
         self._sync_repositories()
+        if self.health is not None:
+            self.health.sync_members(self._members, self.sim.now)
         self.tracer.emit(
             self.sim.now, f"client.{self.host}", "client.view",
             view=view.view_id, members=list(view.members),
@@ -585,6 +642,15 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         if joined:
             # New replicas need this client's subscription too.
             self._send_subscription()
+
+    def _on_crash_declared(self, host_name: str) -> None:
+        """Failure-detector declaration: quarantine immediately.
+
+        The monitor ignores hosts it does not track (e.g. other clients),
+        so this can safely receive every declaration.
+        """
+        if self.health is not None:
+            self.health.record_crash(host_name, self.sim.now)
 
     def _send_subscription(self) -> None:
         members = self._mgroup.members()
@@ -661,6 +727,18 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
                 "tf.redundancy", len(sent_to),
                 labels={"client": self.host, "service": self.service},
             )
+        if (
+            self.health is not None
+            and sent_to
+            and not decision.meta.get("quarantine_override", False)
+        ):
+            # Invariant: quarantined replicas receive no client traffic
+            # (the override — every replica quarantined — is exempt).
+            violated = tuple(
+                r for r in sent_to if self.health.is_quarantined(r)
+            )
+            if violated:
+                self.quarantined_traffic.append((message.msg_id, violated))
         self.tracer.emit(
             self.sim.now, f"client.{self.host}", "client.sent",
             msg_id=message.msg_id, selected=list(sent_to), t0=t0,
@@ -677,11 +755,39 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
             return message.msg_id
         # Arm the response timeout; it also keeps the kernel's run loop
         # alive while a reply is in flight.
-        timeout_ms = self.qos.deadline_ms * self.response_timeout_factor
+        timeout_ms = self._response_timeout_ms(sent_to, self._classify(request))
         self.sim.call_in(
             timeout_ms, lambda: self._expire(message.msg_id)
         )
         return message.msg_id
+
+    def _response_timeout_ms(
+        self, selected: Tuple[str, ...], class_key: str
+    ) -> float:
+        """How long to wait for a reply before declaring the request dead.
+
+        Legacy behaviour: a fixed ``factor × deadline``.  With an adaptive
+        quantile configured, the timeout follows the model instead — the
+        worst selected replica's predicted ``R_i`` at that quantile — so a
+        silent replica is billed an omission after roughly how long a
+        *working* one would plausibly take, not after a 10× grace period.
+        Clamped to ``[deadline, factor × deadline]``: never give up before
+        the deadline has actually passed, never wait longer than legacy.
+        """
+        ceiling = self.qos.deadline_ms * self.response_timeout_factor
+        if self.adaptive_timeout_quantile is None or not selected:
+            return ceiling
+        estimator = self._estimator_for(class_key)
+        quantiles = []
+        for replica in selected:
+            try:
+                pmf = estimator.response_time_pmf(replica)
+            except KeyError:
+                pmf = None  # mid-view-change: not tracked yet
+            if pmf is None:
+                return ceiling  # cold model: keep the generous legacy wait
+            quantiles.append(pmf.quantile(self.adaptive_timeout_quantile))
+        return min(ceiling, max(self.qos.deadline_ms, max(quantiles)))
 
     def _decide(
         self, replicas: List[str], request: MethodRequest
@@ -696,6 +802,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
             now_ms=self.sim.now,
             rng=self.rng,
             distance=self.distance,
+            health=self.health,
         )
         decision = self.policy.decide(ctx)
         if class_key != DEFAULT_CLASS:
@@ -741,6 +848,15 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
                 class_key=self._classify(pending.request),
             )
             pending.replied.add(replica)
+            if self.health is not None:
+                # Every reply — first or redundant — is health evidence:
+                # within the deadline a success, a straggler a timing
+                # fault.  (A timely reply from a quarantined replica
+                # proves liveness and re-admits it to probation.)
+                if t4 - pending.t0 <= self.qos.deadline_ms:
+                    self.health.record_success(replica, t4)
+                else:
+                    self.health.record_fault(replica, t4, kind="timing")
 
         if pending is None or pending.completed:
             self._maybe_forget(message.correlation_id)
@@ -800,6 +916,14 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         pending = self._forget(msg_id)
         if pending is None:
             return
+        if self.health is not None:
+            # Replicas addressed but never heard from are omission faults
+            # (the `faulted` set keeps retry timeouts from billing twice).
+            for replica in sorted(
+                pending.expected - pending.replied - pending.faulted
+            ):
+                pending.faulted.add(replica)
+                self.health.record_fault(replica, self.sim.now, kind="omission")
         if pending.completed:
             return  # normal case: reply already delivered; just forget it
         pending.completed = True
@@ -824,18 +948,24 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         )
         pending.event.succeed(outcome)
 
-    # -- probing (§8 extension) --------------------------------------------------
+    # -- probing (§8 extension + health re-admission) ----------------------------
     def _probe_tick(self) -> None:
-        assert self.probe_staleness_ms is not None
-        stale = set()
-        for repo in self._repositories.values():
-            for name in repo.replicas():
-                if (
-                    repo.record(name).staleness(self.sim.now)
-                    > self.probe_staleness_ms
-                ):
-                    stale.add(name)
-        for replica in sorted(stale):
+        due = set()
+        if self.probe_staleness_ms is not None:
+            for repo in self._repositories.values():
+                for name in repo.replicas():
+                    if (
+                        repo.record(name).staleness(self.sim.now)
+                        > self.probe_staleness_ms
+                    ):
+                        due.add(name)
+        if self.health is not None:
+            due.update(self.health.due_probes(self.sim.now))
+        # A replica with a probe already in flight is not probed again —
+        # neither by the staleness path (its window going stale mid-probe
+        # must not double-probe it) nor by the health path.
+        in_flight = {replica for _sent, replica in self._probes_in_flight.values()}
+        for replica in sorted(due - in_flight):
             self._send_probe(replica)
         self.sim.call_in(self.probe_interval_ms, self._probe_tick, daemon=True)
 
@@ -847,8 +977,10 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
             payload={"service": self.service, "client": self.host},
             size_bytes=64,
         )
-        self._probes_in_flight[message.msg_id] = self.sim.now
+        self._probes_in_flight[message.msg_id] = (self.sim.now, replica)
         self.probes_sent += 1
+        if self.health is not None:
+            self.health.note_probe_sent(replica, self.sim.now)
         self.transport.send(message)
         # A probe whose reply is lost must not pin its record forever:
         # give up on it after one probe interval (it will be re-probed if
@@ -863,13 +995,18 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         )
 
     def _expire_probe(self, msg_id: int) -> None:
-        if self._probes_in_flight.pop(msg_id, None) is not None:
-            self.probes_expired += 1
+        entry = self._probes_in_flight.pop(msg_id, None)
+        if entry is None:
+            return
+        self.probes_expired += 1
+        if self.health is not None:
+            self.health.record_probe_failure(entry[1], self.sim.now)
 
     def _on_probe_reply(self, message: Message) -> None:
-        sent_at = self._probes_in_flight.pop(message.correlation_id, None)
-        if sent_at is None:
+        entry = self._probes_in_flight.pop(message.correlation_id, None)
+        if entry is None:
             return
+        sent_at, _target = entry
         replica = message.payload["replica"]
         round_trip = self.sim.now - sent_at
         queue_length = message.payload["queue_length"]
@@ -880,6 +1017,8 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
                 repo, replica, round_trip, self.sim.now
             )
             repo.record(replica).queue_length = queue_length
+        if self.health is not None:
+            self.health.record_probe_success(replica, self.sim.now)
 
     # -- accounting --------------------------------------------------------------
     def _record_perf(self, perf: PerformanceUpdate) -> None:
@@ -966,6 +1105,13 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         )
         if resurrected:
             leaks["resurrected_replicas"] = resurrected
+        if self.quarantined_traffic:
+            # The no-traffic-to-quarantined invariant (ARCHITECTURE.md
+            # §5): any entry here is a selection-layer bug.
+            leaks["quarantined_traffic"] = [
+                (msg_id, list(replicas))
+                for msg_id, replicas in self.quarantined_traffic
+            ]
         return leaks
 
     def __repr__(self) -> str:

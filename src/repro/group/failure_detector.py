@@ -77,9 +77,22 @@ class FailureDetector:
         """Stop monitoring ``host_name`` (idempotent)."""
         self._watched.pop(host_name, None)
 
-    def on_crash(self, listener: CrashListener) -> None:
-        """Call ``listener(host_name)`` when a crash is confirmed."""
+    def on_crash(self, listener: CrashListener) -> Callable[[], None]:
+        """Call ``listener(host_name)`` when a crash is confirmed.
+
+        Returns an unsubscribe callable (idempotent), so short-lived
+        subscribers — e.g. a client handler's health monitor — can detach
+        without leaving a dangling reference in the detector.
+        """
         self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+        return unsubscribe
 
     # -- inspection ------------------------------------------------------------
     def is_declared_crashed(self, host_name: str) -> bool:

@@ -1,0 +1,153 @@
+"""Health states, configuration, and events for the replica health subsystem.
+
+The paper's timing fault handler *measures* deadline misses and reports
+them to the dependability manager (§5.4), but nothing in the base design
+changes behavior when a replica goes persistently bad: a replica that
+stops replying also stops producing performance updates, so its sliding
+windows freeze at their last (possibly excellent) values and the model
+keeps trusting a dead replica — *model starvation*.  The health subsystem
+closes that loop with a small per-replica state machine:
+
+::
+
+            consecutive faults            further faults
+    HEALTHY ────────────────► SUSPECTED ────────────────► QUARANTINED
+       ▲                          │                            │
+       │  consecutive successes   │                            │ probe
+       ◄──────────────────────────┘                            │ success
+       │                                                       ▼
+       └───────────────────◄──── PROBATION ◄───────────────────┘
+           probe / reply                │ any fault
+           successes                    └────────► QUARANTINED (backoff ×2)
+
+* **HEALTHY** — full trust; ``F_{R_i}(t)`` used as-is.
+* **SUSPECTED** — a streak of timing/omission faults; the replica keeps
+  receiving (discounted) traffic and is actively probed so the streak can
+  resolve either way even if selection stops routing to it.
+* **QUARANTINED** — no client traffic at all (auditor-enforced); probed
+  on an exponential backoff until a probe gets through.
+* **PROBATION** — probes go through again; a few consecutive successes
+  re-admit the replica, any fault re-quarantines it with a doubled
+  backoff.
+
+A crash declaration from the failure detector quarantines immediately —
+the group layer will usually evict the member too, but the detector's
+confirmation latency means the health view can act first.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["HealthState", "HealthConfig", "HealthEvent"]
+
+
+class HealthState(enum.Enum):
+    """The four trust levels of the per-replica state machine."""
+
+    HEALTHY = "healthy"
+    SUSPECTED = "suspected"
+    QUARANTINED = "quarantined"
+    PROBATION = "probation"
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One state transition, as reported to listeners (e.g. Proteus)."""
+
+    replica: str
+    old_state: HealthState
+    new_state: HealthState
+    at_ms: float
+    #: What triggered the transition ("timing", "omission", "crash",
+    #: "probe-failure", "probe-success", "success", ...).
+    reason: str
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Tuning knobs of the health state machine.
+
+    Parameters
+    ----------
+    suspect_after:
+        Consecutive faults that demote HEALTHY → SUSPECTED.
+    quarantine_after:
+        *Further* consecutive faults (beyond ``suspect_after``) that
+        demote SUSPECTED → QUARANTINED.
+    recover_after:
+        Consecutive request successes that promote SUSPECTED → HEALTHY.
+    probation_after:
+        Consecutive successes (probe or request) that promote
+        PROBATION → HEALTHY.
+    suspected_discount / probation_discount:
+        Multipliers applied to ``F_{R_i}(t)`` while in the respective
+        state (quarantined replicas are excluded outright).
+    backoff_initial_ms / backoff_factor / backoff_max_ms:
+        Re-admission probe backoff: the first probe goes out
+        ``backoff_initial_ms`` after quarantine entry; every failed probe
+        multiplies the gap by ``backoff_factor``, capped at
+        ``backoff_max_ms``.  A PROBATION → QUARANTINED bounce keeps (and
+        escalates) the previous backoff instead of resetting it.
+    adaptive_timeout_quantile:
+        Default quantile of the predicted ``R_i`` pmf used for the
+        adaptive response timeout when the handler does not set its own
+        (``None`` disables the adaptive timeout even with health on).
+    """
+
+    suspect_after: int = 2
+    quarantine_after: int = 1
+    recover_after: int = 2
+    probation_after: int = 3
+    suspected_discount: float = 0.5
+    probation_discount: float = 0.7
+    backoff_initial_ms: float = 1000.0
+    backoff_factor: float = 2.0
+    backoff_max_ms: float = 30_000.0
+    adaptive_timeout_quantile: Optional[float] = 0.99
+
+    def __post_init__(self) -> None:
+        if self.suspect_after < 1:
+            raise ValueError(
+                f"suspect_after must be >= 1, got {self.suspect_after}"
+            )
+        if self.quarantine_after < 1:
+            raise ValueError(
+                f"quarantine_after must be >= 1, got {self.quarantine_after}"
+            )
+        if self.recover_after < 1:
+            raise ValueError(
+                f"recover_after must be >= 1, got {self.recover_after}"
+            )
+        if self.probation_after < 1:
+            raise ValueError(
+                f"probation_after must be >= 1, got {self.probation_after}"
+            )
+        for label, discount in (
+            ("suspected_discount", self.suspected_discount),
+            ("probation_discount", self.probation_discount),
+        ):
+            if not 0.0 <= discount <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1], got {discount}")
+        if self.backoff_initial_ms <= 0:
+            raise ValueError(
+                f"backoff_initial_ms must be > 0, got {self.backoff_initial_ms}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_max_ms < self.backoff_initial_ms:
+            raise ValueError(
+                "backoff_max_ms must be >= backoff_initial_ms, got "
+                f"{self.backoff_max_ms} < {self.backoff_initial_ms}"
+            )
+        if self.adaptive_timeout_quantile is not None and not (
+            0.0 < self.adaptive_timeout_quantile <= 1.0
+        ):
+            raise ValueError(
+                "adaptive_timeout_quantile must be in (0, 1], got "
+                f"{self.adaptive_timeout_quantile}"
+            )

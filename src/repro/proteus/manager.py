@@ -95,6 +95,10 @@ class DependabilityManager:
         # Shared co-location activity, consumed by CoupledLoad profiles.
         self.host_activity = HostActivity()
         self.replicas_started = 0
+        # Health transitions reported by client handlers, as
+        # (service, HealthEvent) in arrival order — AQuA's fault
+        # notification path: gateways observe, Proteus aggregates.
+        self.health_reports: List[tuple] = []
 
     # -- infrastructure ------------------------------------------------------
     def gateway_for(self, host: str) -> Gateway:
@@ -208,6 +212,34 @@ class DependabilityManager:
         lifecycle audit needs to inspect.
         """
         return list(self._handlers.values())
+
+    # -- health notifications ------------------------------------------------
+    def report_health_event(self, service: str, event) -> None:
+        """Accept a :class:`~repro.health.HealthEvent` from a client handler.
+
+        The manager records it (``health_reports``), traces it, and counts
+        it per transition — giving experiments and operators one place to
+        see every suspicion/quarantine/re-admission across all clients.
+        """
+        self.health_reports.append((service, event))
+        self.tracer.emit(
+            self.sim.now, "proteus", "proteus.health",
+            service=service, replica=event.replica,
+            old=event.old_state.value, new=event.new_state.value,
+            reason=event.reason,
+        )
+        self.metrics.increment(
+            "proteus.health_transitions",
+            labels={
+                "service": service,
+                "replica": event.replica,
+                "to": event.new_state.value,
+            },
+        )
+
+    def health_listener(self, service: str):
+        """A per-service callback suitable for ``health_listener=``."""
+        return lambda event: self.report_health_event(service, event)
 
     # -- fault wiring --------------------------------------------------------
     def _wire_faults(self, key: tuple) -> None:

@@ -19,6 +19,7 @@ from ..faultinject.auditor import AuditReport, LifecycleAuditor
 from ..gateway.handlers.timing_fault import TimingFaultClientHandler
 from ..group.ensemble import GroupCommunication
 from ..group.failure_detector import FailureDetector
+from ..health import HealthConfig
 from ..metrics.collector import MetricsCollector
 from ..net.lan import LanModel, LinkProfile, bursty_jitter
 from ..net.transport import Transport
@@ -110,6 +111,10 @@ class ScenarioConfig:
     extra_methods: Optional[Dict[str, Distribution]] = None
     # Full per-host service profile override; trumps the factories above.
     profile_factory: Optional[Callable[[str], "ServiceProfile"]] = None
+    # When set, every client handler runs the health subsystem
+    # (suspicion/quarantine/probation; docs/ARCHITECTURE.md §5) and its
+    # transitions are reported to the Proteus manager.
+    health_config: Optional[HealthConfig] = None
 
     def replica_hosts(self) -> List[str]:
         """Host names the replicas run on."""
@@ -288,6 +293,12 @@ class Scenario:
             )
         self.lan.add_host(name)
         gateway = self.manager.gateway_for(name)
+        handler_kwargs = dict(handler_kwargs)
+        if cfg.health_config is not None:
+            handler_kwargs.setdefault("health_config", cfg.health_config)
+            handler_kwargs.setdefault(
+                "health_listener", self.manager.health_listener(cfg.service)
+            )
         handler = handler_cls(
             sim=self.sim,
             host=name,

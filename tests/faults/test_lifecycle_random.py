@@ -7,9 +7,17 @@ message drops, delay spikes, duplicated/late replies, crash-mid-service
 with restart, and view churn.  Afterwards the LifecycleAuditor must find
 every request completed exactly once and zero leaked ``_pending`` /
 ``_aliases`` / ``_probes_in_flight`` entries anywhere.
+
+The test runs over a small seed matrix; every assertion message carries
+``(seed, fault_seed)`` so a failing combination can be replayed directly.
+``FAULT_ACCEPTANCE_SCALE`` (an integer, default 1) multiplies the request
+counts and the schedule horizon — the nightly CI job runs at 5×.
 """
 
+import os
+
 import numpy as np
+import pytest
 
 from repro.faultinject import random_fault_schedule
 from repro.gateway.handlers.retransmit import RetransmittingClientHandler
@@ -18,6 +26,12 @@ from repro.sim.random import Constant
 from .conftest import FaultStack
 
 REPLICAS = [f"s-{i + 1}" for i in range(5)]
+SCALE = max(1, int(os.environ.get("FAULT_ACCEPTANCE_SCALE", "1")))
+
+# (component seed, fault-injection seed, schedule-draw seed).  The first
+# combination is the historic one; keep it first so its schedule stays
+# bit-for-bit identical with earlier revisions.
+SEED_MATRIX = [(3, 11, 7), (4, 19, 23), (5, 29, 31)]
 
 
 def _closed_loop(stack, host, count, think_ms, first_arg=0):
@@ -31,8 +45,10 @@ def _closed_loop(stack, host, count, think_ms, first_arg=0):
     return stack.sim.spawn(run(), name=f"load.{host}")
 
 
-def test_randomized_fault_schedule_drains_clean():
-    stack = FaultStack(seed=3, fault_seed=11)
+@pytest.mark.parametrize("seed,fault_seed,schedule_seed", SEED_MATRIX)
+def test_randomized_fault_schedule_drains_clean(seed, fault_seed, schedule_seed):
+    tag = f"(seed={seed}, fault_seed={fault_seed})"
+    stack = FaultStack(seed=seed, fault_seed=fault_seed)
     for host in REPLICAS:
         stack.add_server(host, service_time=Constant(8.0))
     stack.add_client("c-1", deadline_ms=100.0, response_timeout_factor=3.0)
@@ -47,38 +63,43 @@ def test_randomized_fault_schedule_drains_clean():
     )
 
     schedule = random_fault_schedule(
-        np.random.default_rng(7), horizon_ms=4000.0, replicas=REPLICAS
+        np.random.default_rng(schedule_seed),
+        horizon_ms=4000.0 * SCALE,
+        replicas=REPLICAS,
     )
     stack.transport.schedule = schedule
     driver = stack.make_driver()
     driver.apply(schedule)
 
     loads = [
-        _closed_loop(stack, "c-1", 170, think_ms=5.0),
-        _closed_loop(stack, "c-2", 170, think_ms=5.0, first_arg=1000),
-        _closed_loop(stack, "c-3", 160, think_ms=5.0, first_arg=2000),
+        _closed_loop(stack, "c-1", 170 * SCALE, think_ms=5.0),
+        _closed_loop(stack, "c-2", 170 * SCALE, think_ms=5.0, first_arg=100_000),
+        _closed_loop(stack, "c-3", 160 * SCALE, think_ms=5.0, first_arg=200_000),
     ]
     stack.sim.run()
-    assert all(not load.alive for load in loads)
+    assert all(not load.alive for load in loads), f"load stuck {tag}"
 
-    # Every fault family actually fired.
-    assert stack.transport.injected_drops > 0
-    assert stack.transport.injected_delays > 0
-    assert stack.transport.injected_duplicates > 0
-    assert driver.crashes_applied >= 1
-    assert driver.restarts_applied >= 1
-    assert driver.leaves_applied + driver.rejoins_applied >= 1
+    # Every fault family actually fired.  Whether a drawn window catches
+    # traffic depends on the seeds, so the family coverage assertions are
+    # pinned to the historic combination only.
+    if (seed, fault_seed, schedule_seed) == SEED_MATRIX[0]:
+        assert stack.transport.injected_drops > 0, tag
+        assert stack.transport.injected_delays > 0, tag
+        assert stack.transport.injected_duplicates > 0, tag
+        assert driver.crashes_applied >= 1, tag
+        assert driver.restarts_applied >= 1, tag
+        assert driver.leaves_applied + driver.rejoins_applied >= 1, tag
 
     report = stack.auditor.assert_clean()
-    assert report.submitted == 500
-    assert report.completed == 500
-    assert report.replies > 0  # the system did useful work despite faults
+    assert report.submitted == 500 * SCALE, tag
+    assert report.completed == 500 * SCALE, tag
+    assert report.replies > 0, tag  # useful work happened despite faults
     # Zero leaked entries, spelled out for the acceptance criterion:
     for client in stack.clients.values():
-        assert client._pending == {}
-        assert client._probes_in_flight == {}
-    assert stack.clients["c-3"]._aliases == {}
-    assert stack.clients["c-3"]._copies == {}
+        assert client._pending == {}, f"pending leak in {client.host} {tag}"
+        assert client._probes_in_flight == {}, f"probe leak in {client.host} {tag}"
+    assert stack.clients["c-3"]._aliases == {}, f"alias leak {tag}"
+    assert stack.clients["c-3"]._copies == {}, f"copy leak {tag}"
 
 
 def test_same_seed_same_outcome():
@@ -100,5 +121,4 @@ def test_same_seed_same_outcome():
         stack.sim.run()
         report = stack.auditor.assert_clean()
         return report.replies, report.timeouts, stack.transport.injected_drops
-
     assert run_once() == run_once()

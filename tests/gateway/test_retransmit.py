@@ -125,3 +125,72 @@ def test_default_retry_timeout_is_half_deadline():
     stack = _stack_with()
     handler = _add_retry_client(stack, deadline=300.0)
     assert handler._effective_retry_timeout() == pytest.approx(150.0)
+
+
+def test_retry_backoff_doubles_up_to_the_cap():
+    stack = _stack_with()
+    handler = _add_retry_client(
+        stack,
+        deadline=300.0,
+        retry_timeout_ms=25.0,
+        retry_backoff_factor=2.0,
+        retry_timeout_cap_ms=100.0,
+    )
+    waits = [handler._effective_retry_timeout(attempt) for attempt in (1, 2, 3, 4)]
+    assert waits == pytest.approx([25.0, 50.0, 100.0, 100.0])
+
+
+def test_backoff_factor_one_restores_fixed_intervals():
+    stack = _stack_with()
+    handler = _add_retry_client(
+        stack, deadline=300.0, retry_timeout_ms=30.0, retry_backoff_factor=1.0
+    )
+    assert handler._effective_retry_timeout(1) == pytest.approx(30.0)
+    assert handler._effective_retry_timeout(7) == pytest.approx(30.0)
+
+
+def test_backoff_cap_defaults_to_the_deadline():
+    stack = _stack_with()
+    handler = _add_retry_client(stack, deadline=300.0, retry_timeout_ms=50.0)
+    # 50 × 2^9 ≫ 300; the implicit cap is max(base, deadline) = 300.
+    assert handler._effective_retry_timeout(10) == pytest.approx(300.0)
+
+
+def test_backoff_parameter_validation():
+    stack = _stack_with()
+    with pytest.raises(ValueError):
+        _add_retry_client(stack, retry_backoff_factor=0.5)
+    stack2 = _stack_with()
+    with pytest.raises(ValueError):
+        _add_retry_client(stack2, retry_timeout_cap_ms=0.0)
+
+
+def test_backoff_spreads_retransmissions_exponentially():
+    from repro.sim.trace import Tracer
+
+    tracer = Tracer()
+    stack = _stack_with(servers=2)
+    _add_retry_client(
+        stack,
+        deadline=1000.0,
+        retry_timeout_ms=10.0,
+        retry_backoff_factor=2.0,
+        max_retries=3,
+        tracer=tracer,
+    )
+    stack.invoke("client-1", 0)
+    stack.sim.run()
+    for server in stack.servers.values():
+        server.crash()
+    crashed_at = stack.sim.now
+    stack.invoke("client-1", 1)
+    stack.sim.run()
+    times = [
+        r.time
+        for r in tracer.of_kind("client.retransmit")
+        if r.time > crashed_at  # the warm-up request may retry too
+    ]
+    assert len(times) == 3
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    # Waits of 10, 20, 40 ms -> successive gaps double.
+    assert gaps == pytest.approx([20.0, 40.0])

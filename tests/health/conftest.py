@@ -1,0 +1,14 @@
+"""Shared fixtures for the health-subsystem tests.
+
+Re-exports the gateway ``MiniStack`` fixture so the adaptive-timeout
+tests can drive a real handler without duplicating the harness.
+"""
+
+import pytest
+
+from ..gateway.conftest import MiniStack
+
+
+@pytest.fixture
+def stack() -> MiniStack:
+    return MiniStack()

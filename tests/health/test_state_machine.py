@@ -1,0 +1,208 @@
+"""Unit tests for the per-replica health state machine (no simulator)."""
+
+import pytest
+
+from repro.health import HealthConfig, HealthMonitor, HealthState
+
+
+def make_monitor(**overrides) -> HealthMonitor:
+    defaults = dict(
+        suspect_after=2,
+        quarantine_after=1,
+        recover_after=2,
+        probation_after=2,
+        backoff_initial_ms=100.0,
+        backoff_factor=2.0,
+        backoff_max_ms=800.0,
+    )
+    defaults.update(overrides)
+    monitor = HealthMonitor(HealthConfig(**defaults))
+    monitor.sync_members(["r-1", "r-2"], now_ms=0.0)
+    return monitor
+
+
+class TestSuspicionAndQuarantine:
+    def test_starts_healthy_with_full_trust(self):
+        monitor = make_monitor()
+        assert monitor.state("r-1") is HealthState.HEALTHY
+        assert monitor.discount("r-1") == 1.0
+        assert not monitor.is_quarantined("r-1")
+
+    def test_untracked_replica_gets_full_trust(self):
+        monitor = make_monitor()
+        assert monitor.state("ghost") is None
+        assert monitor.discount("ghost") == 1.0
+        assert not monitor.is_quarantined("ghost")
+
+    def test_fault_streak_suspects_then_quarantines(self):
+        monitor = make_monitor()
+        monitor.record_fault("r-1", 10.0)
+        assert monitor.state("r-1") is HealthState.HEALTHY
+        monitor.record_fault("r-1", 20.0)
+        assert monitor.state("r-1") is HealthState.SUSPECTED
+        assert monitor.discount("r-1") == pytest.approx(0.5)
+        monitor.record_fault("r-1", 30.0)
+        assert monitor.state("r-1") is HealthState.QUARANTINED
+        assert monitor.discount("r-1") == 0.0
+        assert monitor.quarantined() == ["r-1"]
+
+    def test_success_resets_the_fault_streak(self):
+        monitor = make_monitor()
+        monitor.record_fault("r-1", 10.0)
+        monitor.record_success("r-1", 20.0)
+        monitor.record_fault("r-1", 30.0)
+        assert monitor.state("r-1") is HealthState.HEALTHY
+
+    def test_successes_recover_a_suspected_replica(self):
+        monitor = make_monitor()
+        monitor.record_fault("r-1", 10.0)
+        monitor.record_fault("r-1", 20.0)
+        assert monitor.state("r-1") is HealthState.SUSPECTED
+        monitor.record_success("r-1", 30.0)
+        assert monitor.state("r-1") is HealthState.SUSPECTED
+        monitor.record_success("r-1", 40.0)
+        assert monitor.state("r-1") is HealthState.HEALTHY
+
+    def test_crash_declaration_quarantines_immediately(self):
+        monitor = make_monitor()
+        monitor.record_crash("r-2", 50.0)
+        assert monitor.state("r-2") is HealthState.QUARANTINED
+        assert monitor.events[-1].reason == "crash"
+
+
+class TestProbeEvidence:
+    def test_probe_success_does_not_reset_healthy_fault_streak(self):
+        # Probes bypass the FIFO queue: an overloaded replica answers its
+        # probes promptly while timing out client requests.  Probe
+        # successes must not mask that.
+        monitor = make_monitor()
+        monitor.record_fault("r-1", 10.0)
+        monitor.record_probe_success("r-1", 15.0)
+        monitor.record_fault("r-1", 20.0)
+        assert monitor.state("r-1") is HealthState.SUSPECTED
+
+    def test_probe_failure_escalates_a_suspected_replica(self):
+        # Once suspected, selection may stop routing to the replica, so
+        # request evidence dries up; the verification probes must be able
+        # to finish the job.
+        monitor = make_monitor()
+        monitor.record_fault("r-1", 10.0)
+        monitor.record_fault("r-1", 20.0)
+        assert monitor.state("r-1") is HealthState.SUSPECTED
+        monitor.record_probe_failure("r-1", 30.0)
+        assert monitor.state("r-1") is HealthState.QUARANTINED
+
+    def test_probe_failure_on_healthy_replica_is_ignored(self):
+        monitor = make_monitor()
+        monitor.record_probe_failure("r-1", 10.0)
+        assert monitor.state("r-1") is HealthState.HEALTHY
+        assert monitor.record_for("r-1").consecutive_faults == 0
+
+    def test_probe_success_enters_probation_then_healthy(self):
+        monitor = make_monitor()
+        for at in (10.0, 20.0, 30.0):
+            monitor.record_fault("r-1", at)
+        assert monitor.state("r-1") is HealthState.QUARANTINED
+        monitor.record_probe_success("r-1", 200.0)
+        assert monitor.state("r-1") is HealthState.PROBATION
+        # probation_after=2; the admitting probe already counted once.
+        monitor.record_probe_success("r-1", 300.0)
+        assert monitor.state("r-1") is HealthState.HEALTHY
+        assert monitor.discount("r-1") == 1.0
+
+    def test_timely_reply_while_quarantined_enters_probation(self):
+        monitor = make_monitor()
+        for at in (10.0, 20.0, 30.0):
+            monitor.record_fault("r-1", at)
+        monitor.record_success("r-1", 40.0)
+        assert monitor.state("r-1") is HealthState.PROBATION
+        assert monitor.events[-1].reason == "reply-while-quarantined"
+
+    def test_probation_fault_requarantines_with_escalated_backoff(self):
+        monitor = make_monitor()
+        for at in (10.0, 20.0, 30.0):
+            monitor.record_fault("r-1", at)
+        first_backoff = monitor.record_for("r-1").backoff_ms
+        assert first_backoff == pytest.approx(100.0)
+        monitor.record_probe_success("r-1", 200.0)
+        monitor.record_fault("r-1", 210.0)
+        assert monitor.state("r-1") is HealthState.QUARANTINED
+        assert monitor.record_for("r-1").backoff_ms == pytest.approx(200.0)
+
+
+class TestBackoffSchedule:
+    def test_failed_probes_double_the_backoff_up_to_the_cap(self):
+        monitor = make_monitor()
+        for at in (10.0, 20.0, 30.0):
+            monitor.record_fault("r-1", at)
+        record = monitor.record_for("r-1")
+        assert record.backoff_ms == pytest.approx(100.0)
+        expected = [200.0, 400.0, 800.0, 800.0]  # capped at 800
+        for backoff in expected:
+            monitor.record_probe_failure("r-1", 0.0)
+            assert record.backoff_ms == pytest.approx(backoff)
+
+    def test_due_probes_respect_the_quarantine_backoff(self):
+        monitor = make_monitor()
+        for at in (10.0, 20.0, 30.0):
+            monitor.record_fault("r-1", at)
+        record = monitor.record_for("r-1")
+        # Quarantined at 30 with backoff 100: due at 130, not before.
+        assert monitor.due_probes(100.0) == []
+        assert monitor.due_probes(130.0) == ["r-1"]
+        monitor.note_probe_sent("r-1", 130.0)
+        assert monitor.due_probes(131.0) == []
+        assert record.next_probe_at_ms == pytest.approx(230.0)
+
+    def test_suspected_replicas_are_probed_every_tick(self):
+        monitor = make_monitor()
+        monitor.record_fault("r-1", 10.0)
+        monitor.record_fault("r-1", 20.0)
+        assert monitor.due_probes(21.0) == ["r-1"]
+        monitor.note_probe_sent("r-1", 21.0)  # no-op outside quarantine
+        assert monitor.due_probes(22.0) == ["r-1"]
+
+
+class TestMembershipAndEvents:
+    def test_departed_replica_is_dropped_and_rejoins_fresh(self):
+        monitor = make_monitor()
+        for at in (10.0, 20.0, 30.0):
+            monitor.record_fault("r-1", at)
+        assert monitor.is_quarantined("r-1")
+        monitor.sync_members(["r-2"], now_ms=40.0)
+        assert monitor.state("r-1") is None
+        monitor.sync_members(["r-1", "r-2"], now_ms=50.0)
+        assert monitor.state("r-1") is HealthState.HEALTHY
+
+    def test_listener_sees_every_transition_and_can_unsubscribe(self):
+        seen = []
+        monitor = HealthMonitor(
+            HealthConfig(
+                suspect_after=1, quarantine_after=1, backoff_initial_ms=10.0,
+                backoff_max_ms=10.0,
+            ),
+            listener=seen.append,
+        )
+        monitor.sync_members(["r-1"], now_ms=0.0)
+        monitor.record_fault("r-1", 10.0)
+        monitor.record_fault("r-1", 20.0)
+        assert [e.new_state for e in seen] == [
+            HealthState.SUSPECTED,
+            HealthState.QUARANTINED,
+        ]
+        assert seen == monitor.events
+        unsubscribe = monitor.add_listener(seen.append)
+        unsubscribe()
+        monitor.record_probe_success("r-1", 30.0)
+        assert len(seen) == 3  # only the original listener fired
+
+    def test_evidence_for_untracked_replicas_is_ignored(self):
+        monitor = make_monitor()
+        monitor.record_fault("ghost", 10.0)
+        monitor.record_success("ghost", 20.0)
+        monitor.record_crash("ghost", 30.0)
+        monitor.record_probe_failure("ghost", 40.0)
+        assert monitor.states() == {
+            "r-1": HealthState.HEALTHY,
+            "r-2": HealthState.HEALTHY,
+        }
