@@ -70,12 +70,18 @@ class SelectionResult:
     used_fallback:
         ``True`` when no acceptable subset existed and the complete
         replica set was returned (Line 15 of Algorithm 1).
+    capped:
+        ``True`` when ``max_size`` trimmed the set below what Algorithm 1
+        would have chosen — the probabilities then describe the trimmed
+        set, which may sit below ``min_probability`` (the redundancy
+        governor's graceful degradation under overload).
     """
 
     selected: Tuple[str, ...]
     crash_safe_probability: float
     full_probability: float
     used_fallback: bool
+    capped: bool = False
 
     @property
     def redundancy(self) -> int:
@@ -87,6 +93,7 @@ def select_replicas(
     candidates: Sequence[ReplicaProbability],
     min_probability: float,
     crash_tolerance: int = 1,
+    max_size: Optional[int] = None,
 ) -> SelectionResult:
     """Run Algorithm 1 over ``candidates``.
 
@@ -104,6 +111,13 @@ def select_replicas(
         always-include-the-best rule (pure probability cover), and higher
         values protect the ``k`` best members, following the extension the
         paper sketches at the end of §5.3.2.
+    max_size:
+        Redundancy cap imposed by the overload governor.  ``None`` (the
+        default) runs the paper's unbounded algorithm.  A cap never
+        shrinks the set below ``crash_tolerance + 1`` members (the
+        protected best plus one survivor — the structural single-crash
+        guarantee); when the cap bites, the result carries ``capped=True``
+        and its probabilities describe the trimmed set.
 
     Notes
     -----
@@ -118,6 +132,8 @@ def select_replicas(
         )
     if crash_tolerance < 0:
         raise ValueError(f"crash_tolerance must be >= 0, got {crash_tolerance}")
+    if max_size is not None and max_size < 1:
+        raise ValueError(f"max_size must be >= 1, got {max_size}")
 
     # Line 3: sort in decreasing order of F_{R_i}(t); ties by name.  The
     # whole algorithm runs vectorized: one lexsort, one cumulative product
@@ -134,6 +150,13 @@ def select_replicas(
     # replicas; they join the result but not the acceptance test.
     protected_count = min(crash_tolerance, len(candidates))
 
+    # Overload-governor cap, floored at the structural single-crash
+    # guarantee (the protected best plus one survivor).
+    cap = len(candidates)
+    if max_size is not None:
+        floor = min(crash_tolerance + 1, len(candidates))
+        cap = min(max(max_size, floor), len(candidates))
+
     # Lines 6-14: the candidate set X is the smallest prefix of the
     # remainder whose combined probability covers Pc.
     if protected_count:
@@ -147,22 +170,35 @@ def select_replicas(
     if hits.size:
         cut = int(hits[0])
         selected_count = protected_count + cut + 1
+        capped = selected_count > cap
+        if capped:
+            selected_count = cap
+            cut = selected_count - protected_count - 1
         return SelectionResult(
             selected=tuple(names[:selected_count].tolist()),
             crash_safe_probability=float(covered[cut]),
             full_probability=1.0 - float(miss[selected_count - 1]),
             used_fallback=False,
+            capped=capped,
         )
 
-    # Line 15: no acceptable subset — return the complete set M.
-    crash_safe = float(covered[-1]) if covered.size else 0.0
+    # Line 15: no acceptable subset — return the complete set M (trimmed
+    # to the governor's cap when one is in force).
+    capped = cap < len(candidates)
+    remainder_size = cap - protected_count
+    crash_safe = (
+        float(covered[remainder_size - 1])
+        if covered.size and remainder_size >= 1
+        else 0.0
+    )
     return SelectionResult(
-        selected=tuple(names.tolist()),
+        selected=tuple(names[:cap].tolist()),
         crash_safe_probability=(
             crash_safe if crash_safe >= min_probability else 0.0
         ),
-        full_probability=1.0 - float(miss[-1]),
+        full_probability=1.0 - float(miss[cap - 1]),
         used_fallback=True,
+        capped=capped,
     )
 
 
@@ -194,6 +230,12 @@ class SelectionContext:
         :class:`repro.health.HealthMonitor`: ``is_quarantined(name)`` and
         ``discount(name)``).  Policies that honor it exclude quarantined
         replicas and scale ``F_{R_i}(t)`` by the trust discount.
+    max_redundancy:
+        Optional redundancy cap set by the overload governor
+        (:class:`repro.overload.GovernedSelectionPolicy`).  Policies that
+        honor it never address more than this many replicas; Algorithm 1
+        enforces it inside :func:`select_replicas` so the reported
+        probabilities describe the capped set.
     """
 
     replicas: List[str]
@@ -203,6 +245,7 @@ class SelectionContext:
     rng: np.random.Generator
     distance: Optional[Callable[[str], float]] = None
     health: Optional[object] = None
+    max_redundancy: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -351,10 +394,16 @@ class DynamicSelectionPolicy(SelectionPolicy):
                 break
             candidates.append(ReplicaProbability(replica, probability))
 
+        cap = ctx.max_redundancy
         if missing_history or not candidates:
+            selected = tuple(replicas)
+            if cap is not None:
+                # Even the select-all bootstrap respects the governor:
+                # under pressure, seeding the model must not amplify load.
+                selected = selected[: max(cap, 1)]
             self.last_overhead_ms = (time.perf_counter() - started) * 1000.0
             return SelectionDecision(
-                selected=tuple(replicas),
+                selected=selected,
                 meta=annotate({"bootstrap": True, "fallback": False}),
             )
 
@@ -370,6 +419,11 @@ class DynamicSelectionPolicy(SelectionPolicy):
             ):
                 fallback_ctx = replace(ctx, replicas=replicas)
                 delegated = self.stale_fallback.decide(fallback_ctx)
+                if cap is not None:
+                    delegated = SelectionDecision(
+                        selected=delegated.selected[: max(cap, 1)],
+                        meta=delegated.meta,
+                    )
                 self.last_overhead_ms = (
                     time.perf_counter() - started
                 ) * 1000.0
@@ -401,6 +455,7 @@ class DynamicSelectionPolicy(SelectionPolicy):
             candidates,
             ctx.qos.min_probability,
             crash_tolerance=self.crash_tolerance,
+            max_size=cap,
         )
         self.last_overhead_ms = (time.perf_counter() - started) * 1000.0
         return SelectionDecision(
@@ -409,6 +464,7 @@ class DynamicSelectionPolicy(SelectionPolicy):
                 {
                     "bootstrap": False,
                     "fallback": result.used_fallback,
+                    "capped": result.capped,
                     "crash_safe_probability": result.crash_safe_probability,
                     "full_probability": result.full_probability,
                     "effective_deadline_ms": deadline,

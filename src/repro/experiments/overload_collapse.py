@@ -1,0 +1,251 @@
+"""Ablation A16 — flash-crowd collapse vs. the overload governor.
+
+Algorithm 1's hedging is self-amplifying under load: queues build, every
+``W_i`` pmf widens, every ``F_{R_i}(t)`` drops below ``Pc``, the
+algorithm falls back to selecting *all* replicas, and the extra copies
+build the queues further — the metastable feedback loop the paper (two
+clients on an idle LAN) never encounters.
+
+The sweep drives an increasing number of closed-loop clients with a
+short think time at a five-replica deployment, once with the plain
+dynamic policy and once with the overload subsystem enabled (load
+tracker + redundancy governor + deadline-based admission control).  The
+headline comparison, exported to ``BENCH_overload.json``:
+
+* **ungoverned** — the in-deadline fraction collapses as clients are
+  added (past the knee, more than half of all requests miss);
+* **governed** — admitted requests keep a high in-deadline fraction
+  while a bounded, metered fraction of requests is shed fail-fast.
+
+The governed stack pairs the overload subsystem with the A11
+queue-scaled estimator so the admission controller's ``F_{R_m0}(t - δ)``
+tracks *live* queue depth rather than the historic window — otherwise
+stale pmfs stay optimistic during a burst and doomed requests are
+admitted.  The estimator is not the fix on its own: queue-scaling
+without the governor still falls into the select-all feedback loop and
+collapses past the knee (the confound check in the A16 tests).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.estimator import QueueScaledEstimator
+from ..core.qos import QoSSpec
+from ..overload import (
+    AdmissionConfig,
+    GovernorConfig,
+    LoadConfig,
+    OverloadConfig,
+)
+from ..sim.random import Exponential, Normal
+from ..workload.scenarios import Scenario, ScenarioConfig
+from .harness import average, print_table
+
+__all__ = [
+    "OverloadPoint",
+    "default_overload_config",
+    "run_one",
+    "run",
+    "export_overload_bench",
+    "main",
+]
+
+NUM_REPLICAS = 5
+DEADLINE_MS = 60.0
+SERVICE_MEAN_MS = 8.0
+SERVICE_SIGMA_MS = 2.0
+THINK_MS = 5.0
+
+
+@dataclass(frozen=True)
+class OverloadPoint:
+    """Averaged metrics for one (variant, client count) cell."""
+
+    variant: str
+    num_clients: int
+    #: In-deadline fraction over every *issued* request (sheds count as
+    #: not-in-deadline here — honesty against gaming the headline).
+    timely_fraction: float
+    #: In-deadline fraction over *admitted* requests only.
+    admitted_timely_fraction: float
+    shed_fraction: float
+    mean_redundancy: float
+    mean_response_ms: float
+    runs: int
+
+
+def default_overload_config() -> OverloadConfig:
+    """The governed variant's knobs (shared with the acceptance tests)."""
+    return OverloadConfig(
+        load=LoadConfig(target_queue_depth=3.0, ewma_alpha=0.4),
+        governor=GovernorConfig(engage_load=0.4, saturate_load=1.2),
+        admission=AdmissionConfig(
+            floor_probability=0.5,
+            engage_load=0.9,
+            hedge_suppress_load=0.7,
+        ),
+    )
+
+
+def run_one(
+    governed: bool,
+    num_clients: int,
+    seed: int,
+    num_requests: int = 40,
+    overload_config: Optional[OverloadConfig] = None,
+):
+    """One run; returns (timely, admitted-timely, shed, redundancy, resp)."""
+    config = ScenarioConfig(
+        seed=seed,
+        num_replicas=NUM_REPLICAS,
+        service_mean_ms=SERVICE_MEAN_MS,
+        service_sigma_ms=SERVICE_SIGMA_MS,
+        service_distribution_factory=lambda host: Normal(
+            SERVICE_MEAN_MS, SERVICE_SIGMA_MS
+        ),
+        response_timeout_factor=3.0,
+        keep_samples=False,
+        overload_config=(
+            (overload_config or default_overload_config()) if governed else None
+        ),
+    )
+    scenario = Scenario(config)
+    # The governed stack needs queue-scaled F (see module docstring);
+    # the ungoverned baseline is the paper's stack, untouched.
+    handler_kwargs = (
+        {
+            "estimator_factory": lambda repo: QueueScaledEstimator(
+                repo, bin_width_ms=1.0
+            )
+        }
+        if governed
+        else {}
+    )
+    clients = [
+        scenario.add_client(
+            f"client-{i + 1}",
+            QoSSpec(
+                config.service,
+                deadline_ms=DEADLINE_MS,
+                min_probability=0.9,
+            ),
+            num_requests=num_requests,
+            think_time=Exponential(THINK_MS),
+            handler_kwargs=handler_kwargs,
+        )
+        for i in range(num_clients)
+    ]
+    scenario.run_to_completion()
+    scenario.audit_lifecycle()
+    summaries = [c.summary() for c in clients]
+    issued = sum(s.requests for s in summaries)
+    sheds = sum(s.sheds for s in summaries)
+    admitted = issued - sheds
+    admitted_timely = sum(s.admitted - s.timing_failures for s in summaries)
+    return (
+        admitted_timely / issued,
+        admitted_timely / max(admitted, 1),
+        sheds / issued,
+        sum(s.mean_redundancy * s.admitted for s in summaries)
+        / max(admitted, 1),
+        sum(s.mean_response_ms * s.admitted for s in summaries)
+        / max(admitted, 1),
+    )
+
+
+def run(
+    client_counts: Sequence[int] = (2, 8, 16, 24),
+    seeds: Sequence[int] = (0, 1),
+    num_requests: int = 40,
+) -> List[OverloadPoint]:
+    """The full collapse-vs-governed sweep."""
+    points = []
+    for governed, variant in ((False, "ungoverned"), (True, "governed")):
+        for count in client_counts:
+            timely, adm_timely, shed, redundancy, response = zip(
+                *(
+                    run_one(governed, count, seed, num_requests=num_requests)
+                    for seed in seeds
+                )
+            )
+            points.append(
+                OverloadPoint(
+                    variant=variant,
+                    num_clients=count,
+                    timely_fraction=average(timely),
+                    admitted_timely_fraction=average(adm_timely),
+                    shed_fraction=average(shed),
+                    mean_redundancy=average(redundancy),
+                    mean_response_ms=average(response),
+                    runs=len(seeds),
+                )
+            )
+    return points
+
+
+def export_overload_bench(
+    points: Sequence[OverloadPoint], path: str
+) -> None:
+    """Write ``BENCH_overload.json`` (format: docs/PERFORMANCE.md)."""
+    payload = {
+        "benchmark": "a16-overload-collapse",
+        "unit": "fractions of issued/admitted requests",
+        "description": (
+            "Flash-crowd sweep over closed-loop client counts: the "
+            "ungoverned dynamic policy's in-deadline fraction collapses "
+            "past the knee, while the governed variant (redundancy cap + "
+            "deadline-based admission control) sustains admitted "
+            "timeliness by shedding a bounded, metered fraction."
+        ),
+        "points": [
+            {
+                "variant": p.variant,
+                "num_clients": p.num_clients,
+                "timely_fraction": round(p.timely_fraction, 4),
+                "admitted_timely_fraction": round(
+                    p.admitted_timely_fraction, 4
+                ),
+                "shed_fraction": round(p.shed_fraction, 4),
+                "mean_redundancy": round(p.mean_redundancy, 3),
+                "mean_response_ms": round(p.mean_response_ms, 2),
+            }
+            for p in points
+        ],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def main() -> None:
+    """Print the collapse table and export ``BENCH_overload.json``."""
+    points = run()
+    rows = [
+        (
+            p.variant,
+            p.num_clients,
+            p.timely_fraction,
+            p.admitted_timely_fraction,
+            p.shed_fraction,
+            p.mean_redundancy,
+            p.mean_response_ms,
+        )
+        for p in points
+    ]
+    print_table(
+        f"Flash crowd: closed-loop clients vs {NUM_REPLICAS} replicas "
+        f"(deadline {DEADLINE_MS:.0f} ms, service "
+        f"~N({SERVICE_MEAN_MS:.0f}, {SERVICE_SIGMA_MS:.0f}) ms, "
+        f"think {THINK_MS:.0f} ms)",
+        ["variant", "clients", "timely", "admitted timely", "shed",
+         "redundancy", "response ms"],
+        rows,
+    )
+    export_overload_bench(points, "BENCH_overload.json")
+
+
+if __name__ == "__main__":
+    main()

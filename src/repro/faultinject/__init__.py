@@ -23,6 +23,7 @@ from .auditor import (
     SubmissionRecord,
 )
 from .drivers import LifecycleFaultDriver
+from .overload import OverloadDriver
 from .schedule import (
     ChurnFault,
     CrashRestartFault,
@@ -31,6 +32,7 @@ from .schedule import (
     DropRule,
     DuplicateRule,
     FaultSchedule,
+    OverloadFault,
     random_fault_schedule,
 )
 from .transport import FaultyTransport
@@ -48,6 +50,8 @@ __all__ = [
     "LifecycleAuditor",
     "LifecycleFaultDriver",
     "LifecycleViolation",
+    "OverloadDriver",
+    "OverloadFault",
     "SubmissionRecord",
     "random_fault_schedule",
 ]

@@ -6,8 +6,8 @@ outcome event, then — once the simulation has drained — checks the
 invariants that must hold no matter what faults were injected:
 
 1. **Exactly-once completion**: every submitted request's outcome event
-   fired exactly once, with a reply XOR a timeout (never both, never
-   neither).
+   fired exactly once, with a reply XOR a timeout XOR a shed (never two
+   of them, never none).
 2. **No leaked bookkeeping**: each handler's ``lifecycle_leaks()`` is
    empty — no ``_pending`` records, no retransmission ``_aliases``, no
    ``_probes_in_flight`` entries survive the drain.
@@ -61,6 +61,7 @@ class AuditReport:
     replies: int
     timeouts: int
     violations: List[str]
+    sheds: int = 0
 
     @property
     def clean(self) -> bool:
@@ -70,12 +71,13 @@ class AuditReport:
     @property
     def completed(self) -> int:
         """Requests that delivered exactly one outcome."""
-        return self.replies + self.timeouts
+        return self.replies + self.timeouts + self.sheds
 
     def __str__(self) -> str:
         head = (
             f"lifecycle audit: {self.submitted} submitted, "
-            f"{self.replies} replies, {self.timeouts} timeouts"
+            f"{self.replies} replies, {self.timeouts} timeouts, "
+            f"{self.sheds} sheds"
         )
         if self.clean:
             return head + ", clean"
@@ -137,6 +139,7 @@ class LifecycleAuditor:
         violations: List[str] = []
         replies = 0
         timeouts = 0
+        sheds = 0
         for index, record in enumerate(self.records):
             label = (
                 f"request #{index} ({record.client}.{record.method} "
@@ -157,7 +160,18 @@ class LifecycleAuditor:
                 )
                 continue
             outcome = record.outcomes[0]
-            if outcome.timed_out:
+            if getattr(outcome, "shed", False):
+                sheds += 1
+                if outcome.timed_out:
+                    violations.append(
+                        f"{label}: shed yet marked timed out (shed AND timeout)"
+                    )
+                if outcome.replica is not None:
+                    violations.append(
+                        f"{label}: shed yet names replica "
+                        f"{outcome.replica!r} (shed AND reply)"
+                    )
+            elif outcome.timed_out:
                 timeouts += 1
                 if outcome.replica is not None:
                     violations.append(
@@ -180,6 +194,7 @@ class LifecycleAuditor:
             replies=replies,
             timeouts=timeouts,
             violations=violations,
+            sheds=sheds,
         )
 
     @staticmethod

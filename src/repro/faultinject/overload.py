@@ -1,0 +1,96 @@
+"""The flash-crowd driver: turns :class:`OverloadFault` windows into traffic.
+
+Synthetic surge traffic must behave exactly like real traffic — enter
+through a registered client handler (so the LAN validates the hosts and
+the lifecycle auditor books every surge request), carry real arguments,
+and complete through the normal reply/timeout/shed paths.  The driver
+therefore takes *submitters*: per-client callables that fire one request
+through that client's handler and return its outcome event.
+
+During each fault window every surging client fires open-loop — a new
+request every ``surge_interarrival_ms`` regardless of outstanding ones —
+which is the arrival pattern that triggers the redundancy→load feedback
+loop the overload subsystem exists to break.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..sim.events import Event
+from ..sim.kernel import Simulator
+from ..sim.trace import NullTracer, Tracer
+from .schedule import FaultSchedule, OverloadFault
+
+__all__ = ["OverloadDriver"]
+
+#: A submitter fires one request with the given argument index through a
+#: client handler and returns the request's outcome event.
+Submitter = Callable[[int], Event]
+
+
+class OverloadDriver:
+    """Applies :class:`OverloadFault` arrival surges to a deployment."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        submitters: Dict[str, Submitter],
+        first_arg: int = 900_000,
+        tracer: Optional[Tracer] = None,
+    ):
+        if not submitters:
+            raise ValueError("OverloadDriver needs at least one submitter")
+        self.sim = sim
+        self.submitters = dict(submitters)
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.surges_applied = 0
+        self.surge_requests = 0
+        #: Outcome events of every surge request (drain bookkeeping).
+        self.events: List[Event] = []
+        # Distinct argument range so surge requests are recognizable in
+        # traces next to the regular workload's indices.
+        self._next_arg = int(first_arg)
+
+    # -- scheduling ------------------------------------------------------------
+    def apply(self, schedule: FaultSchedule) -> None:
+        """Arm every overload window of ``schedule``."""
+        for fault in schedule.overloads:
+            self.apply_overload(fault)
+
+    def apply_overload(self, fault: OverloadFault) -> None:
+        clients = fault.clients or tuple(sorted(self.submitters))
+        for client in clients:
+            if client not in self.submitters:
+                raise KeyError(f"no submitter for surge client {client!r}")
+        self.sim.call_at(fault.start_ms, lambda: self._start(fault, clients))
+
+    def _start(self, fault: OverloadFault, clients: Tuple[str, ...]) -> None:
+        self.surges_applied += 1
+        self.tracer.emit(
+            self.sim.now, "faultinject", "fault.surge",
+            clients=list(clients), until=fault.end_ms,
+        )
+        for client in clients:
+            self.sim.spawn(
+                self._surge(fault, client), name=f"overload.{client}"
+            )
+
+    def _surge(self, fault: OverloadFault, client: str):
+        submit = self.submitters[client]
+        while self.sim.now < fault.end_ms:
+            self.events.append(submit(self._next_arg))
+            self._next_arg += 1
+            self.surge_requests += 1
+            yield self.sim.timeout(fault.surge_interarrival_ms)
+
+    # -- drain bookkeeping -------------------------------------------------------
+    def drained(self) -> bool:
+        """Whether every surge request has completed (any outcome)."""
+        return all(event.processed for event in self.events)
+
+    def __repr__(self) -> str:
+        return (
+            f"<OverloadDriver surges={self.surges_applied} "
+            f"requests={self.surge_requests}>"
+        )

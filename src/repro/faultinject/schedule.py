@@ -36,6 +36,7 @@ __all__ = [
     "CrashRestartFault",
     "ChurnFault",
     "DegradationFault",
+    "OverloadFault",
     "FaultSchedule",
     "random_fault_schedule",
 ]
@@ -202,6 +203,36 @@ class DegradationFault:
 
 
 @dataclass(frozen=True)
+class OverloadFault:
+    """A flash crowd: an arrival surge over a time window (paper §3's
+    "occasional periods of high traffic", turned hostile).
+
+    During ``[start_ms, end_ms)`` the
+    :class:`~repro.faultinject.overload.OverloadDriver` fires extra
+    requests through the registered client handlers every
+    ``surge_interarrival_ms`` — open-loop, so the offered load does not
+    shrink when the service slows down (the condition that triggers the
+    redundancy→load feedback loop the overload subsystem must break).
+
+    ``clients`` limits the surge to those client hosts; empty means every
+    client registered with the driver surges.
+    """
+
+    start_ms: float
+    end_ms: float
+    surge_interarrival_ms: float = 5.0
+    clients: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        _window_ok(self.start_ms, self.end_ms)
+        if self.surge_interarrival_ms <= 0:
+            raise ValueError(
+                "surge_interarrival_ms must be > 0, got "
+                f"{self.surge_interarrival_ms}"
+            )
+
+
+@dataclass(frozen=True)
 class FaultSchedule:
     """A full scripted fault scenario; all families default to empty."""
 
@@ -211,6 +242,7 @@ class FaultSchedule:
     crashes: Tuple[CrashRestartFault, ...] = ()
     churn: Tuple[ChurnFault, ...] = ()
     degradations: Tuple[DegradationFault, ...] = ()
+    overloads: Tuple[OverloadFault, ...] = ()
 
     def merged(self, other: "FaultSchedule") -> "FaultSchedule":
         """Union of two schedules (composable scenarios)."""
@@ -221,6 +253,7 @@ class FaultSchedule:
             crashes=self.crashes + other.crashes,
             churn=self.churn + other.churn,
             degradations=self.degradations + other.degradations,
+            overloads=self.overloads + other.overloads,
         )
 
     def __len__(self) -> int:
@@ -231,6 +264,7 @@ class FaultSchedule:
             + len(self.crashes)
             + len(self.churn)
             + len(self.degradations)
+            + len(self.overloads)
         )
 
 
@@ -251,6 +285,8 @@ def random_fault_schedule(
     degradations: int = 0,
     max_slow_factor: float = 4.0,
     degradation_omission_probability: float = 0.7,
+    overload_windows: int = 0,
+    surge_interarrival_ms: float = 5.0,
 ) -> FaultSchedule:
     """Draw a randomized schedule over ``[0, horizon_ms)``.
 
@@ -264,6 +300,10 @@ def random_fault_schedule(
     windows, each picking one replica, a slow factor in
     ``[1.5, max_slow_factor]`` and the given omission probability.  The
     windows always end before the horizon, so a drained run has recovered.
+
+    ``overload_windows`` (default 0, same determinism guarantee) adds
+    that many flash-crowd arrival surges, drawn last; each surge ends by
+    85% of the horizon so the queues can drain before the audit.
     """
     if horizon_ms <= 0:
         raise ValueError(f"horizon_ms must be > 0, got {horizon_ms}")
@@ -342,6 +382,20 @@ def random_fault_schedule(
                 omission_probability=degradation_omission_probability,
             )
         )
+    overloads = []
+    # Also drawn last, after degradations, for the same determinism.
+    for _ in range(overload_windows):
+        start, end = window()
+        end = min(end, horizon_ms * 0.85)  # leave room to drain
+        if end <= start:
+            start = max(0.0, end - max(1.0, window_fraction * horizon_ms))
+        overloads.append(
+            OverloadFault(
+                start_ms=start,
+                end_ms=end,
+                surge_interarrival_ms=surge_interarrival_ms,
+            )
+        )
     return FaultSchedule(
         drops=tuple(drops),
         delays=tuple(delays),
@@ -349,4 +403,5 @@ def random_fault_schedule(
         crashes=tuple(crashes),
         churn=tuple(churn),
         degradations=tuple(degraded),
+        overloads=tuple(overloads),
     )

@@ -175,6 +175,18 @@ class RetransmittingClientHandler(TimingFaultClientHandler):
         pending = self._pending.get(msg_id)
         if pending is None or pending.completed:
             return
+        if self.admission is not None and self.admission.suppress_hedging(
+            self.system_load()
+        ):
+            # Under pressure hedged copies are the first load to cut: skip
+            # this retransmission but keep the chain armed — a later
+            # attempt fires normally if the load has receded by then.
+            self.tracer.emit(
+                self.sim.now, f"client.{self.host}", "client.hedge_suppressed",
+                msg_id=msg_id, attempt=attempt,
+            )
+            self._arm_retry(msg_id, call, ranking, tried, attempt + 1)
+            return
         if self.health is not None:
             # A retry timeout is omission evidence against every replica
             # addressed so far that stayed silent; the `faulted` set keeps

@@ -52,6 +52,12 @@ from ...group.membership import GroupView, MembershipError
 from ...health import HealthConfig, HealthMonitor
 from ...metrics.collector import MetricsCollector
 from ...net.message import Message
+from ...overload import (
+    AdmissionController,
+    GovernedSelectionPolicy,
+    LoadTracker,
+    OverloadConfig,
+)
 from ...orb.iiop import MarshalledReply, MarshallingModel
 from ...orb.object import MethodRequest, ServiceInterface
 from ...orb.orb import RequestInterceptor
@@ -120,7 +126,11 @@ class ReplyOutcome:
 
     ``timed_out`` marks requests for which no reply arrived before the
     handler's response timeout (e.g. every selected replica crashed);
-    these count as timing failures.
+    these count as timing failures.  ``shed`` marks requests the
+    admission controller fail-fast rejected before any copy hit the
+    wire — the third, mutually exclusive completion outcome (reply XOR
+    timeout XOR shed); sheds are *not* timing failures and stay out of
+    :class:`~repro.core.qos.TimingFailureStats`.
     """
 
     value: Any
@@ -131,6 +141,7 @@ class ReplyOutcome:
     redundancy: int
     request_id: int
     decision_meta: Dict[str, object] = field(default_factory=dict)
+    shed: bool = False
 
 
 # ---------------------------------------------------------------------------
@@ -446,6 +457,15 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         ``[deadline, factor × deadline]``.  ``None`` inherits the
         ``health_config`` default (and stays disabled without one), so
         legacy configurations keep the fixed timeout bit-for-bit.
+    overload_config:
+        When set, the handler runs the overload subsystem
+        (docs/ARCHITECTURE.md §6): a :class:`~repro.overload.LoadTracker`
+        fed from the queue evidence on every reply/push/probe, the
+        selection policy wrapped in a
+        :class:`~repro.overload.GovernedSelectionPolicy` (redundancy
+        cap), and an :class:`~repro.overload.AdmissionController` that
+        fail-fast sheds hopeless requests and suppresses hedged
+        retransmissions under pressure.
     """
 
     message_kinds = (MSG_REPLY, MSG_PERF, MSG_PROBE_REPLY)
@@ -478,6 +498,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         health_config: Optional[HealthConfig] = None,
         health_listener=None,
         adaptive_timeout_quantile: Optional[float] = None,
+        overload_config: Optional[OverloadConfig] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsCollector] = None,
     ):
@@ -588,6 +609,25 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
                 self.probe_interval_ms, self._probe_tick, daemon=True
             )
 
+        # Overload subsystem (docs/ARCHITECTURE.md §6): tracker always,
+        # governor wraps the policy, admission controls the dispatch path.
+        self.load_tracker: Optional[LoadTracker] = None
+        self.admission: Optional[AdmissionController] = None
+        self.sheds = 0
+        if overload_config is not None:
+            self.load_tracker = LoadTracker(
+                overload_config.load,
+                inflight_provider=self._inflight_copies,
+            )
+            if overload_config.governor is not None:
+                self.policy = GovernedSelectionPolicy(
+                    self.policy,
+                    self.load_tracker,
+                    overload_config.governor,
+                )
+            if overload_config.admission is not None:
+                self.admission = AdmissionController(overload_config.admission)
+
     # -- per-class state -------------------------------------------------------
     def _repo_for(self, class_key: str) -> InformationRepository:
         repo = self._repositories.get(class_key)
@@ -635,6 +675,8 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         self._sync_repositories()
         if self.health is not None:
             self.health.sync_members(self._members, self.sim.now)
+        if self.load_tracker is not None:
+            self.load_tracker.sync_members(self._members)
         self.tracer.emit(
             self.sim.now, f"client.{self.host}", "client.view",
             view=view.view_id, members=list(view.members),
@@ -694,8 +736,23 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         return outcome_event
 
     def _dispatch(self, request, call, t0: float, outcome_event: Event) -> int:
-        """Select, transmit and register one request; returns its msg_id."""
+        """Select, transmit and register one request; returns its msg_id.
+
+        Returns ``-1`` when the admission controller shed the request
+        (no message was created, nothing hit the wire).
+        """
         decision = self._decide(list(self._members), request)
+        if self.load_tracker is not None:
+            load = self.system_load()
+            self.metrics.observe(
+                "tf.load_index", load,
+                labels={"client": self.host, "service": self.service},
+            )
+            if self.admission is not None and self.admission.should_shed(
+                decision.meta, load
+            ):
+                self._shed(decision, load, t0, outcome_event)
+                return -1
         message = Message(
             sender=self.host,
             destination="",
@@ -817,6 +874,58 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
                 labels={"client": self.host, "service": self.service},
             )
         return decision
+
+    # -- overload ---------------------------------------------------------------
+    def _inflight_copies(self) -> int:
+        """Request copies addressed but not yet replied to (tracker input)."""
+        return sum(
+            len(p.expected - p.replied) for p in self._pending.values()
+        )
+
+    def system_load(self) -> float:
+        """The load index over the active (non-quarantined) replica set."""
+        if self.load_tracker is None:
+            return 0.0
+        names = self._members
+        if self.health is not None:
+            active = [r for r in names if not self.health.is_quarantined(r)]
+            names = active or names
+        return self.load_tracker.system_load(names)
+
+    def _shed(
+        self,
+        decision: SelectionDecision,
+        load: float,
+        t0: float,
+        outcome_event: Event,
+    ) -> None:
+        """Fail-fast reject one request before any copy hits the wire.
+
+        Sheds are the third completion outcome: no ``_pending`` entry is
+        created, no replica sees the request, and the response-time stats
+        are left untouched (a shed is load control, not a timing fault).
+        """
+        self.sheds += 1
+        self.metrics.increment(
+            "tf.sheds", labels={"client": self.host, "service": self.service}
+        )
+        meta = dict(decision.meta)
+        meta["shed_load"] = load
+        outcome = ReplyOutcome(
+            value=None,
+            response_time_ms=self.sim.now - t0,
+            timely=False,
+            timed_out=False,
+            replica=None,
+            redundancy=0,
+            request_id=-1,
+            decision_meta=meta,
+            shed=True,
+        )
+        self.tracer.emit(
+            self.sim.now, f"client.{self.host}", "client.shed", load=load
+        )
+        outcome_event.succeed(outcome)
 
     # -- reply path ------------------------------------------------------------
     def handle_message(self, message: Message) -> None:
@@ -1017,6 +1126,10 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
                 repo, replica, round_trip, self.sim.now
             )
             repo.record(replica).queue_length = queue_length
+        if self.load_tracker is not None and replica in self._members:
+            self.load_tracker.observe_probe(
+                replica, queue_length, self.sim.now
+            )
         if self.health is not None:
             self.health.record_probe_success(replica, self.sim.now)
 
@@ -1037,6 +1150,14 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
             perf.queue_length,
             self.sim.now,
         )
+        if self.load_tracker is not None:
+            self.load_tracker.observe_reply(
+                perf.replica,
+                perf.queue_length,
+                perf.queue_delay_ms,
+                perf.service_time_ms,
+                self.sim.now,
+            )
 
     def _record_gateway_delay(
         self, replica: str, delay_ms: float, now_ms: float, class_key: str

@@ -1,0 +1,53 @@
+"""Overload defense: load tracking, redundancy governing, admission control.
+
+The subsystem closes the redundancy→load feedback loop of Algorithm 1
+(docs/ARCHITECTURE.md §6):
+
+* :class:`LoadTracker` folds the queue-length and ``tq`` fields already
+  carried on every reply, plus the gateway's in-flight copy count, into
+  a dimensionless load index;
+* :class:`GovernedSelectionPolicy` caps the selected set's size as the
+  index rises — full hedging when idle, shrinking toward ``{m0}`` plus
+  the minimum crash-guarantee set under saturation;
+* :class:`AdmissionController` fail-fast sheds requests whose best
+  achievable ``F_{R_m0}(t - δ)`` is below a floor, suppressing hedged
+  retransmissions first.
+
+:class:`OverloadConfig` bundles the three knobs for the handler; passing
+it to :class:`~repro.gateway.handlers.timing_fault.TimingFaultClientHandler`
+activates the whole subsystem.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .admission import AdmissionConfig, AdmissionController
+from .governor import GovernedSelectionPolicy, GovernorConfig
+from .load import LoadConfig, LoadTracker
+
+__all__ = [
+    "LoadConfig",
+    "LoadTracker",
+    "GovernorConfig",
+    "GovernedSelectionPolicy",
+    "AdmissionConfig",
+    "AdmissionController",
+    "OverloadConfig",
+]
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Bundle of the three overload-defense knobs.
+
+    ``governor=None`` leaves the selection policy un-wrapped;
+    ``admission=None`` disables shedding and hedge suppression.  The
+    load tracker always runs (its observations are passive and cheap)
+    so metrics expose the index even with both defenses off.
+    """
+
+    load: LoadConfig = field(default_factory=LoadConfig)
+    governor: Optional[GovernorConfig] = field(default_factory=GovernorConfig)
+    admission: Optional[AdmissionConfig] = field(
+        default_factory=AdmissionConfig
+    )

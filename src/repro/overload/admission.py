@@ -1,0 +1,114 @@
+"""Deadline-based admission control: fail fast instead of queueing to miss.
+
+Under pressure a request whose best achievable ``F_{R_m0}(t - δ)`` is
+already below a floor will almost surely miss its deadline; multicasting
+it anyway burns server queue capacity that admitted requests need.  The
+controller reads the selection decision's own probability annotations —
+no extra model — and declares a *shed*: the client gets an immediate
+fail-fast outcome, no copy reaches any replica, and the lifecycle
+auditor books the request as completed-by-shed (exactly one of reply,
+timeout, shed).
+
+Hedged retransmissions are the cheapest load to cut, so they are
+suppressed at a *lower* load threshold than request shedding engages:
+first stop re-sending copies of requests that already have copies in
+flight, only then start rejecting fresh work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["AdmissionConfig", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Thresholds of the fail-fast ladder.
+
+    Attributes
+    ----------
+    floor_probability:
+        Minimum best-replica ``F_{R_i}(t - δ)`` a request must have to be
+        admitted while the controller is engaged.
+    engage_load:
+        Load index at or above which shedding is considered at all;
+        below it every request is admitted regardless of its odds.
+    hedge_suppress_load:
+        Load index at or above which hedged retransmissions are
+        suppressed.  Must not exceed ``engage_load`` — hedges are cut
+        before fresh work is rejected.
+    """
+
+    floor_probability: float = 0.2
+    engage_load: float = 1.0
+    hedge_suppress_load: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.floor_probability <= 1.0:
+            raise ValueError(
+                "floor_probability must be in [0, 1], got "
+                f"{self.floor_probability}"
+            )
+        if self.engage_load < 0:
+            raise ValueError(
+                f"engage_load must be >= 0, got {self.engage_load}"
+            )
+        if self.hedge_suppress_load > self.engage_load:
+            raise ValueError(
+                "hedge_suppress_load must not exceed engage_load "
+                "(hedges shed first), got "
+                f"{self.hedge_suppress_load} > {self.engage_load}"
+            )
+
+
+class AdmissionController:
+    """Decides, per request, between admit and fail-fast shed."""
+
+    def __init__(self, config: Optional[AdmissionConfig] = None):
+        self.config = config or AdmissionConfig()
+        self.admitted = 0
+        self.sheds = 0
+        self.hedges_suppressed = 0
+
+    @staticmethod
+    def best_probability(decision_meta: Dict[str, object]) -> Optional[float]:
+        """Best per-replica probability annotated on the decision.
+
+        ``None`` when the decision carries no model (bootstrap, static
+        fallback) — such requests are always admitted: without evidence
+        of hopelessness, shedding would be guessing.
+        """
+        probabilities = decision_meta.get("probabilities")
+        if not isinstance(probabilities, dict) or not probabilities:
+            return None
+        return max(float(p) for p in probabilities.values())
+
+    def should_shed(
+        self, decision_meta: Dict[str, object], load: float
+    ) -> bool:
+        """Admit-or-shed verdict; updates the controller's counters."""
+        shed = False
+        if load >= self.config.engage_load:
+            best = self.best_probability(decision_meta)
+            if best is not None and best < self.config.floor_probability:
+                shed = True
+        if shed:
+            self.sheds += 1
+        else:
+            self.admitted += 1
+        return shed
+
+    def suppress_hedging(self, load: float) -> bool:
+        """Whether hedged retransmissions should be withheld at ``load``."""
+        suppress = load >= self.config.hedge_suppress_load
+        if suppress:
+            self.hedges_suppressed += 1
+        return suppress
+
+    def __repr__(self) -> str:
+        return (
+            f"<AdmissionController admitted={self.admitted} "
+            f"sheds={self.sheds} hedges_suppressed={self.hedges_suppressed}>"
+        )

@@ -1,0 +1,161 @@
+"""The redundancy governor: a load-dependent cap on Algorithm 1's ``|K|``.
+
+Algorithm 1 hedges timing faults with extra request copies, but each
+copy is real work on the FIFO server queues: under a flash crowd the
+hedging that protects one client widens every ``W_i`` pmf, which makes
+the algorithm select *more* replicas — a metastable feedback loop
+(Poloczek & Ciucu: replication flips from latency-reducing to
+capacity-destroying past a load threshold).
+
+:class:`GovernedSelectionPolicy` breaks the loop from outside the
+algorithm: it wraps any :class:`~repro.core.selection.SelectionPolicy`
+and, before each decision, translates the tracker's load index into a
+redundancy cap via a linear ladder —
+
+* ``load <= engage_load``: no cap; the inner policy's decision is
+  bit-for-bit what it would have produced un-wrapped;
+* ``load >= saturate_load``: the floor — ``{m0}`` plus the minimum set
+  still satisfying the crash guarantee (``crash_tolerance + 1``
+  members), never fewer while requests are being admitted;
+* in between: linear interpolation, rounded up so the cap only bites
+  when the load has genuinely moved.
+
+The cap travels inside :class:`~repro.core.selection.SelectionContext`
+(``max_redundancy``), so Algorithm 1 enforces it where the probabilities
+are computed; the governor additionally trims the returned set as a
+defense against cap-blind policies.  Quarantined replicas are excluded
+from the capacity the load index is computed over, so quarantine makes
+the index *rise* and the governor tighten — composition, not
+re-amplification.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..core.selection import (
+    SelectionContext,
+    SelectionDecision,
+    SelectionPolicy,
+)
+from .load import LoadTracker
+
+__all__ = ["GovernorConfig", "GovernedSelectionPolicy"]
+
+
+@dataclass(frozen=True)
+class GovernorConfig:
+    """The cap ladder's thresholds.
+
+    Attributes
+    ----------
+    engage_load:
+        Load index below which the governor is inert (full hedging).
+    saturate_load:
+        Load index at or above which the cap sits at the floor.
+    min_redundancy:
+        The floor itself.  ``None`` derives it from the wrapped policy's
+        ``crash_tolerance`` (``crash_tolerance + 1``: the protected best
+        plus one survivor — the structural single-crash guarantee).
+    """
+
+    engage_load: float = 0.5
+    saturate_load: float = 1.5
+    min_redundancy: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.engage_load < 0:
+            raise ValueError(
+                f"engage_load must be >= 0, got {self.engage_load}"
+            )
+        if self.saturate_load <= self.engage_load:
+            raise ValueError(
+                "saturate_load must exceed engage_load, got "
+                f"{self.saturate_load} <= {self.engage_load}"
+            )
+        if self.min_redundancy is not None and self.min_redundancy < 1:
+            raise ValueError(
+                f"min_redundancy must be >= 1, got {self.min_redundancy}"
+            )
+
+
+class GovernedSelectionPolicy(SelectionPolicy):
+    """Wrap a selection policy with the load-dependent redundancy cap."""
+
+    def __init__(
+        self,
+        inner: SelectionPolicy,
+        tracker: LoadTracker,
+        config: Optional[GovernorConfig] = None,
+    ):
+        self.inner = inner
+        self.tracker = tracker
+        self.config = config or GovernorConfig()
+        self.name = f"governed-{inner.name}"
+        #: Load index of the most recent decision (the handler reads this
+        #: for admission control and hedge suppression).
+        self.last_load = 0.0
+        #: Decisions where the cap was below the available replica count.
+        self.engagements = 0
+
+    def floor_redundancy(self) -> int:
+        """The ladder's floor before clamping to the available count."""
+        if self.config.min_redundancy is not None:
+            return self.config.min_redundancy
+        return int(getattr(self.inner, "crash_tolerance", 1)) + 1
+
+    def cap_for(self, load: float, available: int) -> int:
+        """Map a load index to a redundancy cap over ``available`` replicas."""
+        if available <= 0:
+            return available
+        floor_k = min(self.floor_redundancy(), available)
+        if load <= self.config.engage_load:
+            return available
+        if load >= self.config.saturate_load:
+            return floor_k
+        fraction = (load - self.config.engage_load) / (
+            self.config.saturate_load - self.config.engage_load
+        )
+        span = available - floor_k
+        return floor_k + int(math.ceil((1.0 - fraction) * span))
+
+    def decide(self, ctx: SelectionContext) -> SelectionDecision:
+        # Capacity = the non-quarantined replicas (quarantine shrinks it).
+        names = list(ctx.replicas)
+        if ctx.health is not None:
+            active = [r for r in names if not ctx.health.is_quarantined(r)]
+            if active:
+                names = active
+        load = self.tracker.system_load(names)
+        self.last_load = load
+        available = len(names)
+        cap = self.cap_for(load, available)
+        if ctx.max_redundancy is not None:
+            cap = min(cap, ctx.max_redundancy)
+
+        engaged = cap < available
+        if not engaged and ctx.max_redundancy is None:
+            # Inert governor: hand the context through untouched so the
+            # decision is exactly the un-wrapped policy's.
+            decision = self.inner.decide(ctx)
+        else:
+            decision = self.inner.decide(replace(ctx, max_redundancy=cap))
+            if len(decision.selected) > cap:
+                # Defense for cap-blind policies (static baselines).
+                decision = SelectionDecision(
+                    selected=decision.selected[: max(cap, 1)],
+                    meta=dict(decision.meta),
+                )
+        if engaged:
+            self.engagements += 1
+
+        meta = dict(decision.meta)
+        meta["governor"] = {
+            "load": load,
+            "cap": cap,
+            "available": available,
+            "engaged": engaged,
+        }
+        return SelectionDecision(selected=decision.selected, meta=meta)

@@ -22,13 +22,20 @@ __all__ = ["ClientSummary", "ClosedLoopClient", "OpenLoopClient"]
 
 @dataclass(frozen=True)
 class ClientSummary:
-    """Aggregate view of one client's run."""
+    """Aggregate view of one client's run.
+
+    ``timing_failures`` and the two means describe *admitted* requests
+    only; sheds (fail-fast admission rejections) are load control, not
+    timing faults, and are accounted separately so a shedding policy
+    cannot dress drops up as timeliness.
+    """
 
     requests: int
     timing_failures: int
     timeouts: int
     mean_response_ms: float
     mean_redundancy: float
+    sheds: int = 0
 
     @property
     def failure_probability(self) -> float:
@@ -37,20 +44,46 @@ class ClientSummary:
             return 0.0
         return self.timing_failures / self.requests
 
+    @property
+    def admitted(self) -> int:
+        """Requests that were actually dispatched (issued minus shed)."""
+        return self.requests - self.sheds
+
+    @property
+    def shed_fraction(self) -> float:
+        """Fraction of issued requests the admission controller rejected."""
+        if self.requests == 0:
+            return 0.0
+        return self.sheds / self.requests
+
+    @property
+    def admitted_timely_fraction(self) -> float:
+        """In-deadline fraction among admitted requests (A16's headline)."""
+        if self.admitted == 0:
+            return 0.0
+        return (self.admitted - self.timing_failures) / self.admitted
+
 
 def _summarize(outcomes: List[ReplyOutcome]) -> ClientSummary:
     if not outcomes:
         return ClientSummary(0, 0, 0, 0.0, 0.0)
-    failures = sum(1 for o in outcomes if not o.timely)
-    timeouts = sum(1 for o in outcomes if o.timed_out)
-    mean_response = sum(o.response_time_ms for o in outcomes) / len(outcomes)
-    mean_redundancy = sum(o.redundancy for o in outcomes) / len(outcomes)
+    sheds = sum(1 for o in outcomes if getattr(o, "shed", False))
+    served = [o for o in outcomes if not getattr(o, "shed", False)]
+    failures = sum(1 for o in served if not o.timely)
+    timeouts = sum(1 for o in served if o.timed_out)
+    mean_response = (
+        sum(o.response_time_ms for o in served) / len(served) if served else 0.0
+    )
+    mean_redundancy = (
+        sum(o.redundancy for o in served) / len(served) if served else 0.0
+    )
     return ClientSummary(
         requests=len(outcomes),
         timing_failures=failures,
         timeouts=timeouts,
         mean_response_ms=mean_response,
         mean_redundancy=mean_redundancy,
+        sheds=sheds,
     )
 
 

@@ -24,6 +24,7 @@ from ..metrics.collector import MetricsCollector
 from ..net.lan import LanModel, LinkProfile, bursty_jitter
 from ..net.transport import Transport
 from ..orb.iiop import MarshallingModel
+from ..overload import OverloadConfig
 from ..orb.object import MethodSignature, Servant, ServiceInterface
 from ..orb.orb import Orb
 from ..proteus.manager import DependabilityManager, ServiceSpec
@@ -115,6 +116,10 @@ class ScenarioConfig:
     # (suspicion/quarantine/probation; docs/ARCHITECTURE.md §5) and its
     # transitions are reported to the Proteus manager.
     health_config: Optional[HealthConfig] = None
+    # When set, every client handler runs the overload subsystem (load
+    # tracker + redundancy governor + admission control;
+    # docs/ARCHITECTURE.md §6).
+    overload_config: Optional[OverloadConfig] = None
 
     def replica_hosts(self) -> List[str]:
         """Host names the replicas run on."""
@@ -299,6 +304,8 @@ class Scenario:
             handler_kwargs.setdefault(
                 "health_listener", self.manager.health_listener(cfg.service)
             )
+        if cfg.overload_config is not None:
+            handler_kwargs.setdefault("overload_config", cfg.overload_config)
         handler = handler_cls(
             sim=self.sim,
             host=name,

@@ -1,0 +1,158 @@
+"""The shed path through the client handler and the lifecycle auditor.
+
+A shed is the third completion outcome (reply XOR timeout XOR shed): the
+client's event fires immediately, no copy hits the wire, no ``_pending``
+record exists, and the response-time statistics stay untouched — load
+control is not a timing fault.
+"""
+
+from repro.gateway.handlers.retransmit import RetransmittingClientHandler
+from repro.overload import (
+    AdmissionConfig,
+    LoadConfig,
+    OverloadConfig,
+)
+from repro.sim.random import Constant
+
+from ..faults.conftest import FaultStack
+
+REPLICAS = ["s-1", "s-2", "s-3"]
+
+
+def shed_everything_config() -> OverloadConfig:
+    """Always engaged, impossible floor: every modeled request sheds."""
+    return OverloadConfig(
+        load=LoadConfig(target_queue_depth=1.0, ewma_alpha=1.0),
+        governor=None,
+        admission=AdmissionConfig(
+            floor_probability=0.99, engage_load=0.0, hedge_suppress_load=0.0
+        ),
+    )
+
+
+def make_stack(**client_kwargs) -> FaultStack:
+    stack = FaultStack(seed=1)
+    for host in REPLICAS:
+        stack.add_server(host, service_time=Constant(8.0))
+    stack.add_client(
+        "c-1",
+        deadline_ms=5.0,  # unattainable: service alone takes 8 ms
+        response_timeout_factor=4.0,
+        **client_kwargs,
+    )
+    return stack
+
+
+def test_shed_outcome_is_failfast_and_audited():
+    stack = make_stack(overload_config=shed_everything_config())
+    handler = stack.clients["c-1"]
+
+    # Request 1 bootstraps (no model yet -> always admitted) and seeds
+    # the windows with evidence that the deadline is hopeless.
+    first = stack.invoke("c-1", 1)
+    stack.sim.run()
+    assert first.value.shed is False
+
+    second = stack.invoke("c-1", 2)
+    stack.sim.run()
+    outcome = second.value
+    assert outcome.shed is True
+    assert outcome.timed_out is False
+    assert outcome.replica is None
+    assert outcome.value is None
+    assert outcome.redundancy == 0
+    assert outcome.request_id == -1
+    assert "shed_load" in outcome.decision_meta
+
+    assert handler.sheds == 1
+    assert handler.admission.sheds == 1
+    assert handler._pending == {}  # never registered: nothing to leak
+    # Sheds stay out of the QoS statistics (only request 1 was served).
+    assert handler.stats.responses == 1
+    assert (
+        handler.metrics.counter(
+            "tf.sheds", labels={"client": "c-1", "service": "search"}
+        )
+        == 1
+    )
+
+    report = stack.auditor.assert_clean()
+    assert (report.submitted, report.replies, report.sheds) == (2, 1, 1)
+    assert report.timeouts == 0
+    assert report.completed == 2
+    assert "1 sheds" in str(report)
+
+
+def test_without_admission_nothing_sheds():
+    stack = make_stack(
+        overload_config=OverloadConfig(governor=None, admission=None)
+    )
+    for i in range(3):
+        stack.invoke("c-1", i)
+        stack.sim.run()
+    assert stack.clients["c-1"].sheds == 0
+    assert stack.auditor.assert_clean().sheds == 0
+
+
+def test_auditor_flags_contradictory_shed_outcomes():
+    from repro.faultinject.auditor import LifecycleAuditor
+
+    stack = make_stack(overload_config=shed_everything_config())
+    stack.invoke("c-1", 1)
+    stack.sim.run()  # request 1 seeds the model...
+    stack.invoke("c-1", 2)
+    stack.sim.run()  # ...so request 2 is shed
+    auditor: LifecycleAuditor = stack.auditor
+    shed_records = [
+        r for r in auditor.records
+        if r.outcomes and getattr(r.outcomes[0], "shed", False)
+    ]
+    assert shed_records  # request 2 shed
+    # Corrupt the outcome: a shed that also claims a timeout must be a
+    # violation, as must a shed that names a replica.
+    from dataclasses import replace
+
+    record = shed_records[0]
+    record.outcomes[0] = replace(record.outcomes[0], timed_out=True)
+    report = auditor.audit()
+    assert any("shed AND timeout" in v for v in report.violations)
+    record.outcomes[0] = replace(
+        record.outcomes[0], timed_out=False, replica="s-1"
+    )
+    report = auditor.audit()
+    assert any("shed AND reply" in v for v in report.violations)
+
+
+def test_hedged_retransmissions_are_suppressed_first():
+    def build(config):
+        stack = FaultStack(seed=2)
+        for host in REPLICAS:
+            stack.add_server(host, service_time=Constant(30.0))
+        stack.add_client(
+            "c-1",
+            deadline_ms=100.0,
+            handler_cls=RetransmittingClientHandler,
+            retry_timeout_ms=5.0,
+            max_retries=2,
+            response_timeout_factor=3.0,
+            overload_config=config,
+        )
+        for i in range(4):
+            stack.invoke("c-1", i)
+            stack.sim.run()
+        stack.auditor.assert_clean()
+        return stack.clients["c-1"]
+
+    # Floor 0.0 never sheds; hedge_suppress_load 0.0 always suppresses.
+    suppressing = OverloadConfig(
+        governor=None,
+        admission=AdmissionConfig(
+            floor_probability=0.0, engage_load=0.0, hedge_suppress_load=0.0
+        ),
+    )
+    baseline = build(None)
+    governed = build(suppressing)
+    assert baseline.retransmissions > 0  # 30 ms service vs 5 ms retry
+    assert governed.retransmissions == 0
+    assert governed.admission.hedges_suppressed > 0
+    assert governed.sheds == 0
