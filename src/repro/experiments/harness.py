@@ -9,16 +9,19 @@ small table-printing helpers used by all ``main()`` entry points.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Tuple
 
 from ..core.qos import QoSSpec
 from ..core.selection import SelectionPolicy
+from ..rng import derive_repetition_seed
 from ..workload.client import ClientSummary
 from ..workload.scenarios import Scenario, ScenarioConfig
 
 __all__ = [
     "TwoClientResult",
     "run_two_client_experiment",
+    "repetition_seeds",
+    "two_client_point",
     "average",
     "format_table",
     "print_table",
@@ -96,6 +99,31 @@ def run_two_client_experiment(
         client2=client2.summary(),
         client1=client1.summary(),
     )
+
+
+def repetition_seeds(base_seed: int, repetitions: int) -> Tuple[int, ...]:
+    """Derived scenario seeds for ``repetitions`` repeated runs.
+
+    The canonical way to widen a sweep: instead of hand-picking seed
+    tuples, record one ``base_seed`` and derive repetition ``r``'s
+    scenario seed as ``derive_repetition_seed(base_seed, r)``
+    (docs/REPRODUCIBILITY.md).  Stable under reordering and extension —
+    growing ``repetitions`` never changes the earlier seeds.
+    """
+    return tuple(
+        derive_repetition_seed(base_seed, r) for r in range(repetitions)
+    )
+
+
+def two_client_point(params: dict, seed: int, repetition: int) -> TwoClientResult:
+    """Sweep adapter: one §6 two-client run as a parallel-runner task.
+
+    ``params`` are keyword arguments of :func:`run_two_client_experiment`
+    minus ``seed``, which the runner supplies per task.  Module-level so
+    it can be pickled into worker processes
+    (:func:`repro.experiments.parallel.run_sweep`).
+    """
+    return run_two_client_experiment(seed=seed, **params)
 
 
 def average(values: Sequence[float]) -> float:

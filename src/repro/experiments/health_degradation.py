@@ -15,10 +15,10 @@ overall timely fraction, and the number of quarantine transitions.
 
 from __future__ import annotations
 
+import argparse
+import time
 from dataclasses import dataclass
-from typing import List, Sequence
-
-import numpy as np
+from typing import List, Optional, Sequence
 
 from ..core.qos import QoSSpec
 from ..core.selection import DynamicSelectionPolicy
@@ -38,11 +38,16 @@ from ..orb.orb import Orb
 from ..replica.load import ServiceProfile
 from ..replica.server import ReplicaApplication
 from ..sim.kernel import Simulator
+from ..rng import RNGManager
 from ..sim.random import Constant, RandomStreams
 from ..workload.scenarios import IntegerServant, make_interface
 from .harness import average, print_table
+from .parallel import run_sweep
 
 __all__ = ["DegradationPoint", "run_one", "run", "main"]
+
+#: run_all passes ``--workers`` through to :func:`main`.
+PARALLEL_CAPABLE = True
 
 SERVICE = "search"
 METHOD = "process"
@@ -81,7 +86,7 @@ def _build_stack(seed: int, fault_seed: int, with_health: bool):
     transport = FaultyTransport(
         Transport(sim, lan),
         schedule=schedule,
-        rng=np.random.default_rng(fault_seed),
+        streams=RNGManager(fault_seed),
     )
     detector = FailureDetector(sim, lan, poll_interval_ms=10.0, confirm_polls=2)
     group_comm = GroupCommunication(
@@ -177,19 +182,33 @@ def run_one(
     )
 
 
+def _degradation_point(params, seed: int, repetition: int):
+    """Parallel-runner task: one variant run at one scenario seed."""
+    with_health, num_requests = params
+    return run_one(with_health, seed, num_requests=num_requests)
+
+
 def run(
     seeds: Sequence[int] = (0, 1, 2),
     num_requests: int = 150,
+    workers: int = 1,
 ) -> List[DegradationPoint]:
-    """Compare the health-enabled client against the no-health baseline."""
+    """Compare the health-enabled client against the no-health baseline.
+
+    ``workers`` fans the ``(variant, seed)`` grid across processes via
+    :mod:`repro.experiments.parallel`; repetition-ordered merging keeps
+    the averaged table bit-identical for any worker count.
+    """
+    grid = [
+        (with_health, num_requests)
+        for with_health, _name in ((True, "health"), (False, "no-health"))
+    ]
+    sweep = run_sweep(_degradation_point, grid, seeds=seeds, workers=workers)
     points = []
-    for with_health, name in ((True, "health"), (False, "no-health")):
-        window, overall, transitions = [], [], []
-        for seed in seeds:
-            w, o, q = run_one(with_health, seed, num_requests=num_requests)
-            window.append(w)
-            overall.append(o)
-            transitions.append(q)
+    for (_, name), values in zip(
+        ((True, "health"), (False, "no-health")), sweep.by_point()
+    ):
+        window, overall, transitions = zip(*values)
         points.append(
             DegradationPoint(
                 variant=name,
@@ -202,9 +221,23 @@ def run(
     return points
 
 
-def main() -> None:
-    """Print the persistent-degradation comparison table."""
-    points = run()
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    """Print the persistent-degradation comparison table.
+
+    ``--workers N`` runs the sweep through the parallel engine (the
+    nightly A15 acceptance invocation uses ``--workers 2``); the table
+    is bit-identical to the serial run.
+    """
+    parser = argparse.ArgumentParser(description="A15 health degradation")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (default 1 = serial)",
+    )
+    args = parser.parse_args(argv)
+    started = time.perf_counter()
+    points = run(workers=args.workers)
     rows = [
         (
             p.variant,
@@ -219,6 +252,10 @@ def main() -> None:
         "(deadline 100 ms, Pc = 0.9)",
         ["variant", "window timely", "overall timely", "quarantines"],
         rows,
+    )
+    print(
+        f"[A15 sweep: {time.perf_counter() - started:.1f}s "
+        f"with {max(args.workers, 1)} worker(s)]"
     )
 
 

@@ -28,7 +28,9 @@ collapses past the knee (the confound check in the A16 tests).
 
 from __future__ import annotations
 
+import argparse
 import json
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -43,6 +45,7 @@ from ..overload import (
 from ..sim.random import Exponential, Normal
 from ..workload.scenarios import Scenario, ScenarioConfig
 from .harness import average, print_table
+from .parallel import run_sweep
 
 __all__ = [
     "OverloadPoint",
@@ -52,6 +55,9 @@ __all__ = [
     "export_overload_bench",
     "main",
 ]
+
+#: run_all passes ``--workers`` through to :func:`main`.
+PARALLEL_CAPABLE = True
 
 NUM_REPLICAS = 5
 DEADLINE_MS = 60.0
@@ -156,33 +162,48 @@ def run_one(
     )
 
 
+def _overload_point(params, seed: int, repetition: int):
+    """Parallel-runner task: one ``(variant, client count)`` cell run."""
+    governed, _variant, count, num_requests = params
+    return run_one(governed, count, seed, num_requests=num_requests)
+
+
 def run(
     client_counts: Sequence[int] = (2, 8, 16, 24),
     seeds: Sequence[int] = (0, 1),
     num_requests: int = 40,
+    workers: int = 1,
 ) -> List[OverloadPoint]:
-    """The full collapse-vs-governed sweep."""
+    """The full collapse-vs-governed sweep.
+
+    ``workers`` fans the ``(variant, clients, seed)`` grid across that
+    many processes (:mod:`repro.experiments.parallel`); the averaged
+    table is bit-identical for any worker count because the per-seed
+    results are merged in repetition order.
+    """
+    grid = [
+        (governed, variant, count, num_requests)
+        for governed, variant in ((False, "ungoverned"), (True, "governed"))
+        for count in client_counts
+    ]
+    sweep = run_sweep(
+        _overload_point, grid, seeds=seeds, workers=workers
+    )
     points = []
-    for governed, variant in ((False, "ungoverned"), (True, "governed")):
-        for count in client_counts:
-            timely, adm_timely, shed, redundancy, response = zip(
-                *(
-                    run_one(governed, count, seed, num_requests=num_requests)
-                    for seed in seeds
-                )
+    for (_, variant, count, _), values in zip(grid, sweep.by_point()):
+        timely, adm_timely, shed, redundancy, response = zip(*values)
+        points.append(
+            OverloadPoint(
+                variant=variant,
+                num_clients=count,
+                timely_fraction=average(timely),
+                admitted_timely_fraction=average(adm_timely),
+                shed_fraction=average(shed),
+                mean_redundancy=average(redundancy),
+                mean_response_ms=average(response),
+                runs=len(seeds),
             )
-            points.append(
-                OverloadPoint(
-                    variant=variant,
-                    num_clients=count,
-                    timely_fraction=average(timely),
-                    admitted_timely_fraction=average(adm_timely),
-                    shed_fraction=average(shed),
-                    mean_redundancy=average(redundancy),
-                    mean_response_ms=average(response),
-                    runs=len(seeds),
-                )
-            )
+        )
     return points
 
 
@@ -220,9 +241,23 @@ def export_overload_bench(
         handle.write("\n")
 
 
-def main() -> None:
-    """Print the collapse table and export ``BENCH_overload.json``."""
-    points = run()
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    """Print the collapse table and export ``BENCH_overload.json``.
+
+    ``--workers N`` runs the sweep through the parallel engine; the
+    table and the exported JSON are bit-identical to the serial run
+    (the nightly A16 acceptance invocation uses ``--workers 2``).
+    """
+    parser = argparse.ArgumentParser(description="A16 overload collapse sweep")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (default 1 = serial)",
+    )
+    args = parser.parse_args(argv)
+    started = time.perf_counter()
+    points = run(workers=args.workers)
     rows = [
         (
             p.variant,
@@ -245,6 +280,10 @@ def main() -> None:
         rows,
     )
     export_overload_bench(points, "BENCH_overload.json")
+    print(
+        f"[A16 sweep: {time.perf_counter() - started:.1f}s "
+        f"with {max(args.workers, 1)} worker(s)]"
+    )
 
 
 if __name__ == "__main__":

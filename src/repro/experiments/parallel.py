@@ -1,0 +1,365 @@
+"""Sharded parallel experiment engine with deterministic merging.
+
+The experiment matrix repeats stochastic scenario runs over parameter
+points and seeds; every run is independent, so the sweep is
+embarrassingly parallel — *if* seeding and merging are disciplined.
+This module supplies that discipline on top of :mod:`repro.rng`:
+
+* **Task seeding** — each task is one ``(parameter point, repetition)``
+  cell.  Its scenario seed is either taken from an explicit ``seeds``
+  tuple (the historic experiment tables) or derived as
+  ``derive_entity_seed(base_seed, stream_name, point_index, repetition)``,
+  a pure function of the task's coordinates.  No task's randomness
+  depends on which worker executes it.
+* **Disjoint worker shards** — tasks are assigned round-robin to
+  ``workers`` processes (``tasks[w::workers]``); shards partition the
+  task list, nothing is run twice and no draw is shared.
+* **Order-independent reduction** — results are sorted by
+  ``(point_index, repetition)`` before any aggregation, so the merged
+  metrics are **bit-identical for 1, 2, or N workers** (the invariance
+  contract of docs/REPRODUCIBILITY.md, enforced in CI by the digest
+  smoke job and ``tests/experiments/test_parallel_runner.py``).
+
+``python -m repro.experiments.parallel --workers 2`` runs a built-in
+smoke sweep serially and with the requested worker count and fails if
+the two digests differ.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..rng import derive_entity_seed
+from ..workload.client import ClientSummary
+
+__all__ = [
+    "TaskSpec",
+    "TaskResult",
+    "SweepResult",
+    "run_sweep",
+    "merge_summaries",
+    "sweep_digest",
+    "canonical",
+    "main",
+]
+
+#: A sweep worker: ``fn(params, seed, repetition) -> value``.  Must be a
+#: module-level callable (pickled into worker processes), and
+#: deterministic given its arguments — the whole invariance contract
+#: rests on that.
+SweepFn = Callable[[Any, int, int], Any]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One executable cell of a sweep: a parameter point × repetition."""
+
+    point_index: int
+    repetition: int
+    params: Any
+    seed: int
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """The completed form of a :class:`TaskSpec` (seed kept for replay)."""
+
+    point_index: int
+    repetition: int
+    seed: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Merged outcome of a sweep, sorted by ``(point_index, repetition)``.
+
+    The task ordering — and therefore every aggregate computed from it,
+    including the :meth:`digest` — is independent of worker count and
+    completion order.
+    """
+
+    points: Tuple[Any, ...]
+    results: Tuple[TaskResult, ...]
+    workers: int
+    elapsed_s: float
+
+    def by_point(self) -> List[List[Any]]:
+        """Task values grouped per parameter point, repetition-ordered."""
+        grouped: List[List[Any]] = [[] for _ in self.points]
+        for result in self.results:
+            grouped[result.point_index].append(result.value)
+        return grouped
+
+    def digest(self) -> str:
+        """Canonical SHA-256 over the merged results (see :func:`sweep_digest`)."""
+        return sweep_digest(self.results)
+
+
+def canonical(obj: Any) -> Any:
+    """A JSON-encodable canonical form with bit-exact floats.
+
+    Floats are rendered with :meth:`float.hex` (no rounding ambiguity),
+    dataclasses become tagged field dicts, mappings get sorted keys.
+    Two objects share a canonical form iff their observable metric
+    content is bit-identical — the equality the 1-vs-N-workers contract
+    is stated in.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return {"__dataclass__": type(obj).__name__, **fields}
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (int, str)):
+        return obj
+    if isinstance(obj, float):
+        return float(obj).hex()
+    if isinstance(obj, (list, tuple)):
+        return [canonical(item) for item in obj]
+    if isinstance(obj, dict):
+        return {str(k): canonical(obj[k]) for k in sorted(obj, key=str)}
+    return repr(obj)
+
+
+def sweep_digest(results: Sequence[TaskResult]) -> str:
+    """SHA-256 hex digest of canonically encoded, coordinate-sorted results."""
+    ordered = sorted(results, key=lambda r: (r.point_index, r.repetition))
+    payload = json.dumps(
+        canonical(list(ordered)), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def merge_summaries(summaries: Sequence[ClientSummary]) -> ClientSummary:
+    """Merge per-run :class:`ClientSummary` values into one aggregate.
+
+    Counters add; the means recombine weighted by each run's admitted
+    (served) request count, matching how the per-run means were formed.
+    Reduction happens in the order given — callers pass
+    repetition-sorted sequences (as :meth:`SweepResult.by_point`
+    produces), which makes the floating-point result independent of
+    worker count and completion order.
+    """
+    if not summaries:
+        raise ValueError("cannot merge zero summaries")
+    requests = sum(s.requests for s in summaries)
+    sheds = sum(s.sheds for s in summaries)
+    admitted = sum(s.admitted for s in summaries)
+    response_weighted = sum(s.mean_response_ms * s.admitted for s in summaries)
+    redundancy_weighted = sum(s.mean_redundancy * s.admitted for s in summaries)
+    return ClientSummary(
+        requests=requests,
+        timing_failures=sum(s.timing_failures for s in summaries),
+        timeouts=sum(s.timeouts for s in summaries),
+        mean_response_ms=response_weighted / admitted if admitted else 0.0,
+        mean_redundancy=redundancy_weighted / admitted if admitted else 0.0,
+        sheds=sheds,
+    )
+
+
+def _build_tasks(
+    points: Sequence[Any],
+    repetitions: Optional[int],
+    seeds: Optional[Sequence[int]],
+    base_seed: int,
+    stream_name: str,
+) -> List[TaskSpec]:
+    """Expand the sweep grid into per-cell tasks with derived seeds."""
+    if (repetitions is None) == (seeds is None):
+        raise ValueError("pass exactly one of repetitions or seeds")
+    if seeds is not None:
+        reps = list(enumerate(seeds))
+    else:
+        if repetitions < 1:
+            raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+        reps = [
+            (
+                r,
+                derive_entity_seed(
+                    base_seed, stream_name, entity_id=None, repetition=r
+                ),
+            )
+            for r in range(repetitions)
+        ]
+    tasks = []
+    for point_index, params in enumerate(points):
+        for repetition, seed in reps:
+            if seeds is None:
+                seed = derive_entity_seed(
+                    base_seed, stream_name, point_index, repetition
+                )
+            tasks.append(
+                TaskSpec(
+                    point_index=point_index,
+                    repetition=repetition,
+                    params=params,
+                    seed=int(seed),
+                )
+            )
+    return tasks
+
+
+def _run_shard(payload: Tuple[SweepFn, List[TaskSpec]]) -> List[TaskResult]:
+    """Execute one worker shard sequentially (runs inside a pool process)."""
+    fn, shard = payload
+    return [
+        TaskResult(
+            point_index=task.point_index,
+            repetition=task.repetition,
+            seed=task.seed,
+            value=fn(task.params, task.seed, task.repetition),
+        )
+        for task in shard
+    ]
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (fast, Linux default); fall back to spawn elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_sweep(
+    fn: SweepFn,
+    points: Sequence[Any],
+    repetitions: Optional[int] = None,
+    seeds: Optional[Sequence[int]] = None,
+    base_seed: int = 0,
+    workers: int = 1,
+    stream_name: str = "sweep",
+) -> SweepResult:
+    """Run ``fn`` over every ``(point, repetition)`` cell of a sweep.
+
+    Parameters
+    ----------
+    fn:
+        Module-level callable ``fn(params, seed, repetition)``; must be
+        picklable and deterministic given its arguments.
+    points:
+        Parameter points (any picklable values; passed through verbatim).
+    repetitions / seeds:
+        Exactly one must be given.  ``seeds`` pins explicit per-repetition
+        scenario seeds (shared by every point — the historic experiment
+        tables); ``repetitions`` derives per-cell seeds from
+        ``(base_seed, stream_name, point_index, repetition)``.
+    workers:
+        Process count.  ``1`` runs inline (no pool); ``0``/negative means
+        ``os.cpu_count()``.  Results are bit-identical for any value.
+
+    Returns
+    -------
+    SweepResult
+        Results sorted by ``(point_index, repetition)`` with provenance
+        (per-task seeds, worker count, wall-clock).
+    """
+    tasks = _build_tasks(points, repetitions, seeds, base_seed, stream_name)
+    if workers <= 0:
+        workers = os.cpu_count() or 1
+    workers = min(workers, len(tasks)) or 1
+    started = time.perf_counter()
+    if workers == 1:
+        results = _run_shard((fn, tasks))
+    else:
+        shards = [tasks[w::workers] for w in range(workers)]
+        ctx = _pool_context()
+        with ctx.Pool(processes=workers) as pool:
+            shard_results = pool.map(
+                _run_shard, [(fn, shard) for shard in shards]
+            )
+        results = [result for shard in shard_results for result in shard]
+    results.sort(key=lambda r: (r.point_index, r.repetition))
+    return SweepResult(
+        points=tuple(points),
+        results=tuple(results),
+        workers=workers,
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+# -- digest smoke (CI entry point) -----------------------------------------
+
+#: The built-in smoke sweep: two §6 two-client points, small enough for a
+#: sub-minute CI job yet exercising the full scenario stack.
+SMOKE_POINTS = (
+    {
+        "deadline_ms": 140.0,
+        "min_probability": 0.9,
+        "num_requests": 6,
+        "num_replicas": 3,
+    },
+    {
+        "deadline_ms": 160.0,
+        "min_probability": 0.5,
+        "num_requests": 6,
+        "num_replicas": 3,
+    },
+)
+
+
+def _smoke_sweep(workers: int) -> SweepResult:
+    """The tiny built-in sweep the CI digest check runs at a worker count."""
+    from .harness import two_client_point
+
+    return run_sweep(
+        two_client_point,
+        SMOKE_POINTS,
+        repetitions=2,
+        base_seed=2001,
+        workers=workers,
+        stream_name="smoke",
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI digest smoke: serial vs ``--workers`` must be bit-identical."""
+    parser = argparse.ArgumentParser(
+        description=(
+            "Run the built-in smoke sweep serially and with --workers "
+            "processes; fail unless the merged digests are bit-identical."
+        )
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes for the parallel leg (default 2)",
+    )
+    args = parser.parse_args(argv)
+
+    serial = _smoke_sweep(workers=1)
+    parallel = _smoke_sweep(workers=args.workers)
+    lines = [
+        f"serial   ({serial.workers} worker):  digest {serial.digest()} "
+        f"in {serial.elapsed_s:.2f}s",
+        f"parallel ({parallel.workers} workers): digest {parallel.digest()} "
+        f"in {parallel.elapsed_s:.2f}s",
+    ]
+    ok = serial.digest() == parallel.digest()
+    lines.append(
+        "digests match — 1-vs-N invariance holds"
+        if ok
+        else "DIGEST MISMATCH — parallel merge is not deterministic"
+    )
+    report = "\n".join(lines)
+    print(report)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write("### Parallel sweep digest smoke\n```\n")
+            handle.write(report)
+            handle.write("\n```\n")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,10 @@
 
 ``python -m repro.experiments.run_all`` regenerates the complete
 EXPERIMENTS.md data set in one go (several minutes).  Pass ``--quick``
-for a reduced-sweep smoke pass.
+for a reduced-sweep smoke pass, and ``--workers N`` to fan the
+parallel-capable sweeps (currently A15/A16; see
+EXPERIMENTS.md § "Running the matrix in parallel") across N worker
+processes — their tables stay bit-identical to the serial run.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from . import (
     method_classification,
     min_response,
     omission_faults,
+    overload_collapse,
     policy_comparison,
     probing,
     queue_scaling,
@@ -51,6 +55,7 @@ ALL_EXPERIMENTS = [
     ("A13 redundancy vs retransmission", retransmission),
     ("A14 adaptation timeline", adaptation_timeline),
     ("A15 health under degradation", health_degradation),
+    ("A16 overload collapse", overload_collapse),
 ]
 
 
@@ -63,6 +68,15 @@ def main(argv=None) -> int:
         "--quick",
         action="store_true",
         help="reduced sweeps (for smoke testing the harnesses)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for parallel-capable sweeps "
+            "(default 1 = serial; results are bit-identical either way)"
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -83,6 +97,8 @@ def main(argv=None) -> int:
                 module.run(seeds=(0,))  # type: ignore[call-arg]
             except TypeError:
                 module.run()  # run() without a seeds parameter
+        elif args.workers > 1 and getattr(module, "PARALLEL_CAPABLE", False):
+            module.main(["--workers", str(args.workers)])
         else:
             module.main()
         print(f"[{label}: {time.perf_counter() - started:.1f}s]")

@@ -23,11 +23,12 @@ ones.  :func:`random_fault_schedule` draws a randomized schedule from a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..net.message import Message
+from ..rng import RNGManager
 
 __all__ = [
     "DropRule",
@@ -268,8 +269,41 @@ class FaultSchedule:
         )
 
 
-def random_fault_schedule(
+def _draw_window(
+    rng: np.random.Generator, horizon_ms: float, window_fraction: float
+) -> Tuple[float, float]:
+    length = max(1.0, window_fraction * horizon_ms * rng.uniform(0.5, 1.5))
+    start = rng.uniform(0.0, max(1.0, horizon_ms - length))
+    return start, start + length
+
+
+def _draw_drained_window(
+    rng: np.random.Generator, horizon_ms: float, window_fraction: float
+) -> Tuple[float, float]:
+    # A window guaranteed to end by 85% of the horizon, so the run can
+    # recover/drain before the lifecycle audit.
+    start, end = _draw_window(rng, horizon_ms, window_fraction)
+    end = min(end, horizon_ms * 0.85)
+    if end <= start:
+        start = max(0.0, end - max(1.0, window_fraction * horizon_ms))
+    return start, end
+
+
+def _draw_host_window(
     rng: np.random.Generator,
+    replicas: Sequence[str],
+    horizon_ms: float,
+) -> Tuple[str, float, float]:
+    # Shared shape of crash and churn events: pick a host, a start in the
+    # first 80% of the horizon, and a recovery 5–15% of the horizon later.
+    host = str(rng.choice(list(replicas)))
+    at = rng.uniform(0.0, horizon_ms * 0.8)
+    back_at = at + rng.uniform(horizon_ms * 0.05, horizon_ms * 0.15)
+    return host, at, back_at
+
+
+def random_fault_schedule(
+    rng: Union[np.random.Generator, RNGManager],
     horizon_ms: float,
     replicas: Sequence[str],
     drop_windows: int = 3,
@@ -293,37 +327,135 @@ def random_fault_schedule(
     Message-level windows cover about ``window_fraction`` of the horizon
     each; crashes always restart and churned members always rejoin, so a
     long-enough run converges back to the full view (the property the
-    lifecycle auditor's drain-time invariants rely on).
+    lifecycle auditor's drain-time invariants rely on).  Degradation and
+    overload windows always end by 85% of the horizon, so a drained run
+    has recovered.
 
-    ``degradations`` (default 0, keeping historic schedules bit-for-bit
-    identical for a given seed) adds that many persistent-degradation
-    windows, each picking one replica, a slow factor in
-    ``[1.5, max_slow_factor]`` and the given omission probability.  The
-    windows always end before the horizon, so a drained run has recovered.
+    ``rng`` selects one of two seeding disciplines:
 
-    ``overload_windows`` (default 0, same determinism guarantee) adds
-    that many flash-crowd arrival surges, drawn last; each surge ends by
-    85% of the horizon so the queues can drain before the audit.
+    * an :class:`~repro.rng.RNGManager` (preferred) draws each fault
+      window from its own named substream — ``("faults.<family>", i)``
+      for window ``i`` of ``<family>`` — so every window is independent
+      of every other: changing any family's window count, or adding an
+      entirely new fault family, never perturbs the windows other
+      families draw (docs/REPRODUCIBILITY.md);
+    * a plain :class:`numpy.random.Generator` reproduces the **legacy
+      sequential path** bit-for-bit: families draw in fixed order from
+      the single generator, with ``degradations`` and then
+      ``overload_windows`` drawn last so historic schedules with the
+      default counts stay byte-identical for a given seed.  This path is
+      frozen — new fault families must draw via the manager discipline,
+      and the legacy order is pinned by a regression test.
     """
     if horizon_ms <= 0:
         raise ValueError(f"horizon_ms must be > 0, got {horizon_ms}")
     if not replicas:
         raise ValueError("need at least one replica to inject faults into")
 
-    def window() -> Tuple[float, float]:
-        length = max(1.0, window_fraction * horizon_ms * rng.uniform(0.5, 1.5))
-        start = rng.uniform(0.0, max(1.0, horizon_ms - length))
-        return start, start + length
+    if isinstance(rng, RNGManager):
+        # Named-substream discipline: one independent generator per
+        # (family, window index) key; draw order is irrelevant.
+        drops = []
+        for i in range(drop_windows):
+            g = rng.substream("faults.drops", i)
+            start, end = _draw_window(g, horizon_ms, window_fraction)
+            drops.append(
+                DropRule(
+                    start_ms=start, end_ms=end, probability=drop_probability
+                )
+            )
+        delays = []
+        for i in range(delay_windows):
+            g = rng.substream("faults.delays", i)
+            start, end = _draw_window(g, horizon_ms, window_fraction)
+            delays.append(
+                DelayRule(
+                    start_ms=start,
+                    end_ms=end,
+                    extra_ms=g.uniform(1.0, max_extra_ms),
+                )
+            )
+        duplicates = []
+        for i in range(duplicate_windows):
+            g = rng.substream("faults.duplicates", i)
+            start, end = _draw_window(g, horizon_ms, window_fraction)
+            duplicates.append(
+                DuplicateRule(
+                    start_ms=start,
+                    end_ms=end,
+                    probability=duplicate_probability,
+                    copies=int(g.integers(1, 3)),
+                    late_by_ms=g.uniform(0.0, max_late_by_ms),
+                )
+            )
+        crashes = []
+        for i in range(crash_restarts):
+            g = rng.substream("faults.crashes", i)
+            host, crash_at, restart_at = _draw_host_window(
+                g, replicas, horizon_ms
+            )
+            crashes.append(
+                CrashRestartFault(
+                    host=host, crash_at_ms=crash_at, restart_at_ms=restart_at
+                )
+            )
+        churn = []
+        for i in range(churn_events):
+            g = rng.substream("faults.churn", i)
+            member, leave_at, rejoin_at = _draw_host_window(
+                g, replicas, horizon_ms
+            )
+            churn.append(
+                ChurnFault(
+                    member=member, leave_at_ms=leave_at, rejoin_at_ms=rejoin_at
+                )
+            )
+        degraded = []
+        for i in range(degradations):
+            g = rng.substream("faults.degradations", i)
+            host = str(g.choice(list(replicas)))
+            start, end = _draw_drained_window(g, horizon_ms, window_fraction)
+            degraded.append(
+                DegradationFault(
+                    host=host,
+                    start_ms=start,
+                    end_ms=end,
+                    slow_factor=float(g.uniform(1.5, max_slow_factor)),
+                    omission_probability=degradation_omission_probability,
+                )
+            )
+        overloads = []
+        for i in range(overload_windows):
+            g = rng.substream("faults.overloads", i)
+            start, end = _draw_drained_window(g, horizon_ms, window_fraction)
+            overloads.append(
+                OverloadFault(
+                    start_ms=start,
+                    end_ms=end,
+                    surge_interarrival_ms=surge_interarrival_ms,
+                )
+            )
+        return FaultSchedule(
+            drops=tuple(drops),
+            delays=tuple(delays),
+            duplicates=tuple(duplicates),
+            crashes=tuple(crashes),
+            churn=tuple(churn),
+            degradations=tuple(degraded),
+            overloads=tuple(overloads),
+        )
 
+    # Legacy sequential path: one generator, fixed family order.  Frozen;
+    # pinned bit-for-bit by tests/faults/test_schedule_streams.py.
     drops = []
     for _ in range(drop_windows):
-        start, end = window()
+        start, end = _draw_window(rng, horizon_ms, window_fraction)
         drops.append(
             DropRule(start_ms=start, end_ms=end, probability=drop_probability)
         )
     delays = []
     for _ in range(delay_windows):
-        start, end = window()
+        start, end = _draw_window(rng, horizon_ms, window_fraction)
         delays.append(
             DelayRule(
                 start_ms=start,
@@ -333,7 +465,7 @@ def random_fault_schedule(
         )
     duplicates = []
     for _ in range(duplicate_windows):
-        start, end = window()
+        start, end = _draw_window(rng, horizon_ms, window_fraction)
         duplicates.append(
             DuplicateRule(
                 start_ms=start,
@@ -345,10 +477,8 @@ def random_fault_schedule(
         )
     crashes = []
     for _ in range(crash_restarts):
-        host = str(rng.choice(list(replicas)))
-        crash_at = rng.uniform(0.0, horizon_ms * 0.8)
-        restart_at = crash_at + rng.uniform(
-            horizon_ms * 0.05, horizon_ms * 0.15
+        host, crash_at, restart_at = _draw_host_window(
+            rng, replicas, horizon_ms
         )
         crashes.append(
             CrashRestartFault(
@@ -357,10 +487,8 @@ def random_fault_schedule(
         )
     churn = []
     for _ in range(churn_events):
-        member = str(rng.choice(list(replicas)))
-        leave_at = rng.uniform(0.0, horizon_ms * 0.8)
-        rejoin_at = leave_at + rng.uniform(
-            horizon_ms * 0.05, horizon_ms * 0.15
+        member, leave_at, rejoin_at = _draw_host_window(
+            rng, replicas, horizon_ms
         )
         churn.append(
             ChurnFault(member=member, leave_at_ms=leave_at, rejoin_at_ms=rejoin_at)
@@ -369,10 +497,7 @@ def random_fault_schedule(
     # Drawn last so degradations=0 reproduces historic schedules exactly.
     for _ in range(degradations):
         host = str(rng.choice(list(replicas)))
-        start, end = window()
-        end = min(end, horizon_ms * 0.85)  # leave room to recover
-        if end <= start:
-            start = max(0.0, end - max(1.0, window_fraction * horizon_ms))
+        start, end = _draw_drained_window(rng, horizon_ms, window_fraction)
         degraded.append(
             DegradationFault(
                 host=host,
@@ -385,10 +510,7 @@ def random_fault_schedule(
     overloads = []
     # Also drawn last, after degradations, for the same determinism.
     for _ in range(overload_windows):
-        start, end = window()
-        end = min(end, horizon_ms * 0.85)  # leave room to drain
-        if end <= start:
-            start = max(0.0, end - max(1.0, window_fraction * horizon_ms))
+        start, end = _draw_drained_window(rng, horizon_ms, window_fraction)
         overloads.append(
             OverloadFault(
                 start_ms=start,

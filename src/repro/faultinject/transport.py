@@ -26,6 +26,7 @@ import numpy as np
 
 from ..net.message import Message
 from ..net.transport import Transport
+from ..rng import RNGManager
 from ..sim.trace import NullTracer, Tracer
 from .schedule import FaultSchedule
 
@@ -44,7 +45,16 @@ class FaultyTransport:
         :class:`~repro.faultinject.drivers.LifecycleFaultDriver`).
     rng:
         Generator for the probabilistic rules; deterministic by default.
+    streams:
+        Alternative to ``rng``: an :class:`~repro.rng.RNGManager` whose
+        ``"faultinject.wire"`` stream supplies the injection draws —
+        the preferred form, keeping fault randomness on a named
+        substream independent of every other component's draws
+        (docs/REPRODUCIBILITY.md).  Mutually exclusive with ``rng``.
     """
+
+    #: Named stream the wire-level injection draws come from.
+    STREAM_NAME = "faultinject.wire"
 
     def __init__(
         self,
@@ -52,12 +62,18 @@ class FaultyTransport:
         schedule: Optional[FaultSchedule] = None,
         rng: Optional[np.random.Generator] = None,
         tracer: Optional[Tracer] = None,
+        streams: Optional["RNGManager"] = None,
     ):
+        if rng is not None and streams is not None:
+            raise ValueError("pass either rng or streams, not both")
         self.inner = inner
         self.sim = inner.sim
         self.lan = inner.lan
         self.schedule = schedule or FaultSchedule()
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        if streams is not None:
+            self.rng = streams.stream(self.STREAM_NAME)
+        else:
+            self.rng = rng if rng is not None else np.random.default_rng(0)
         self.tracer = tracer if tracer is not None else NullTracer()
         self.injected_drops = 0
         self.injected_delays = 0

@@ -22,7 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..sim.random import Distribution, MarkovModulated, Normal, RandomStreams
+from ..rng import RNGManager
+from ..sim.random import Distribution, MarkovModulated, Normal
 
 __all__ = ["Host", "LanModel", "LinkProfile", "bursty_jitter"]
 
@@ -95,15 +96,17 @@ class LanModel:
     Parameters
     ----------
     streams:
-        Random-stream family; each ordered host pair draws jitter from its
-        own substream so link behaviours are independent.
+        Named-stream manager (:class:`repro.rng.RNGManager`); each
+        ordered host pair draws jitter from its own ``"lan.<src>-><dst>"``
+        substream so link behaviours are independent and adding a host
+        never perturbs existing links (docs/REPRODUCIBILITY.md).
     default_profile:
         Latency profile used for pairs without an explicit override.
     """
 
     def __init__(
         self,
-        streams: RandomStreams,
+        streams: RNGManager,
         default_profile: Optional[LinkProfile] = None,
         shared_congestion: Optional[Distribution] = None,
     ):

@@ -1,0 +1,236 @@
+"""Named-stream RNG manager with order-invariant per-entity substreams.
+
+The derivation scheme (documented normatively in docs/REPRODUCIBILITY.md)
+is a keyed hash in the style of :meth:`numpy.random.SeedSequence.spawn`,
+but with *stable, human-readable keys* instead of spawn counters — spawn
+counters depend on spawn order, which is exactly the fragility this
+module exists to remove:
+
+``derive_seed(base_seed, *parts)`` joins ``base_seed`` and the key parts
+with ``":"``, SHA-256 hashes the string, and takes the first 8 digest
+bytes (little-endian) as a 64-bit seed.  A stream's generator is
+``numpy.random.default_rng(derived)`` — equivalent to seeding a
+``SeedSequence`` with the derived entropy.  Because the seed is a pure
+function of the key:
+
+* two streams with different names are statistically independent;
+* the order in which streams are first touched is irrelevant;
+* interleaving draws across entity substreams never changes the
+  sequence any single entity sees.
+
+The single-part form ``derive_seed(s, name)`` hashes ``f"{s}:{name}"`` —
+byte-identical to the historic ``repro.sim.random`` derivation, so
+rebasing :class:`~repro.sim.random.RandomStreams` on
+:class:`RNGManager` changed no simulation result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "RNGManager",
+    "RNGRegistry",
+    "derive_seed",
+    "derive_entity_seed",
+    "derive_repetition_seed",
+    "seed_sequence",
+]
+
+#: Types accepted as key parts: anything with a stable ``str()``.
+KeyPart = Union[str, int]
+
+
+def derive_seed(base_seed: int, *parts: KeyPart) -> int:
+    """Derive a 64-bit child seed from ``base_seed`` and a key tuple.
+
+    The key is canonicalized as ``f"{base_seed}:{part1}:{part2}:..."``,
+    SHA-256 hashed, and truncated to the first 8 bytes (little-endian).
+    Deterministic across processes, platforms and Python versions
+    (``PYTHONHASHSEED`` does not apply to hashlib).
+    """
+    if not parts:
+        raise ValueError("derive_seed needs at least one key part")
+    label = ":".join([str(int(base_seed))] + [str(p) for p in parts])
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def derive_entity_seed(
+    base_seed: int,
+    stream_name: str,
+    entity_id: Optional[KeyPart] = None,
+    repetition: Optional[int] = None,
+) -> int:
+    """Seed for the ``(base_seed, stream_name, entity_id, repetition)`` key.
+
+    ``entity_id`` and ``repetition`` are optional refinements; omitting
+    them yields the plain named-stream seed.  The canonical key encodes
+    them as ``entity=<id>`` and ``rep=<n>`` parts, so an entity substream
+    can never collide with a literal stream name.
+    """
+    parts: Tuple[KeyPart, ...] = (stream_name,)
+    if entity_id is not None:
+        parts += (f"entity={entity_id}",)
+    if repetition is not None:
+        parts += (f"rep={int(repetition)}",)
+    return derive_seed(base_seed, *parts)
+
+
+def derive_repetition_seed(base_seed: int, repetition: int) -> int:
+    """A stable per-repetition scenario seed from one experiment seed.
+
+    This is the seed handed to repetition ``repetition`` of a sweep when
+    the caller does not enumerate seeds explicitly — the parallel runner
+    records it next to the merged metrics so any single repetition can be
+    replayed in isolation.
+    """
+    if repetition < 0:
+        raise ValueError(f"repetition must be >= 0, got {repetition}")
+    return derive_seed(base_seed, "rep", int(repetition))
+
+
+def seed_sequence(base_seed: int, *parts: KeyPart) -> np.random.SeedSequence:
+    """A :class:`numpy.random.SeedSequence` over the derived entropy.
+
+    For callers that want to keep spawning numpy-style (e.g. to seed a
+    third-party library expecting a ``SeedSequence``); streams created
+    from it match ``np.random.default_rng(derive_seed(...))``.
+    """
+    return np.random.SeedSequence(derive_seed(base_seed, *parts))
+
+
+class RNGManager:
+    """Provides deterministic, named child streams from one base seed.
+
+    Streams are memoized: the same name always returns the same
+    :class:`numpy.random.Generator` instance, whose state advances with
+    use.  Seeds are derived from the name alone (:func:`derive_seed`),
+    so creation order is irrelevant.
+
+    >>> manager = RNGManager(base_seed=42)
+    >>> manager.stream("lan.a->b") is manager.stream("lan.a->b")
+    True
+    """
+
+    def __init__(self, base_seed: int = 0):
+        """Root every stream this manager hands out at ``base_seed``."""
+        self.base_seed = int(base_seed)
+        self._streams: Dict[Tuple[KeyPart, ...], np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        """The base seed (legacy alias used by the sim layer)."""
+        return self.base_seed
+
+    def child_seed(
+        self,
+        name: str,
+        entity_id: Optional[KeyPart] = None,
+        repetition: Optional[int] = None,
+    ) -> int:
+        """The derived seed for a named (sub)stream, without creating it."""
+        if not name:
+            raise ValueError("stream name must be non-empty")
+        return derive_entity_seed(
+            self.base_seed, name, entity_id=entity_id, repetition=repetition
+        )
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (creating if needed) the named substream ``name``."""
+        return self._get((name,), self.child_seed(name))
+
+    def substream(
+        self,
+        name: str,
+        entity_id: KeyPart,
+        repetition: Optional[int] = None,
+    ) -> np.random.Generator:
+        """A per-entity substream of ``name``, order-invariant across entities.
+
+        Each ``(name, entity_id[, repetition])`` key owns an independent
+        generator; interleaving draws across entities never changes the
+        sequence any one entity sees.
+        """
+        key: Tuple[KeyPart, ...] = (name, f"entity={entity_id}")
+        if repetition is not None:
+            key += (f"rep={int(repetition)}",)
+        return self._get(
+            key, self.child_seed(name, entity_id=entity_id, repetition=repetition)
+        )
+
+    def _get(
+        self, key: Tuple[KeyPart, ...], seed: int
+    ) -> np.random.Generator:
+        """Memoized generator lookup for a fully derived key/seed pair."""
+        rng = self._streams.get(key)
+        if rng is None:
+            rng = np.random.default_rng(seed)
+            self._streams[key] = rng
+        return rng
+
+    def fork(self, name: str) -> "RNGManager":
+        """A child manager whose streams are independent of this one's."""
+        return type(self)(derive_seed(self.base_seed, f"fork:{name}"))
+
+    def reset(self) -> None:
+        """Drop all stream state; the same names replay identically."""
+        self._streams.clear()
+
+    def __repr__(self) -> str:
+        """Short debugging form: base seed plus live stream count."""
+        return (
+            f"<{type(self).__name__} base_seed={self.base_seed} "
+            f"streams={len(self._streams)}>"
+        )
+
+
+class RNGRegistry(RNGManager):
+    """An :class:`RNGManager` scoped to a scenario / worker / repetition.
+
+    The scope parts fold into the effective base seed, giving each
+    ``(scenario, worker, repetition)`` combination a disjoint stream
+    shard: two registries with different scopes share *no* variates,
+    while equal scopes reproduce each other exactly.
+
+    The parallel sweep runner deliberately does **not** key task
+    randomness on ``worker`` — task streams derive from the task's own
+    ``(base_seed, point, repetition)`` so results cannot depend on which
+    worker ran the task.  The ``worker`` scope exists for worker-local
+    auxiliary randomness (e.g. jittered polling in a live gateway) that
+    must be disjoint across shards without being part of any result.
+    """
+
+    def __init__(
+        self,
+        base_seed: int,
+        scenario: Optional[str] = None,
+        worker: Optional[int] = None,
+        repetition: Optional[int] = None,
+    ):
+        """Fold the ``(scenario, worker, repetition)`` scope into the seed."""
+        self.scenario = scenario
+        self.worker = worker
+        self.repetition = repetition
+        parts: Tuple[KeyPart, ...] = ()
+        if scenario is not None:
+            parts += (f"scenario={scenario}",)
+        if worker is not None:
+            parts += (f"worker={int(worker)}",)
+        if repetition is not None:
+            parts += (f"rep={int(repetition)}",)
+        effective = derive_seed(base_seed, *parts) if parts else int(base_seed)
+        super().__init__(effective)
+        #: The unscoped seed the scope was folded into (for provenance).
+        self.root_seed = int(base_seed)
+
+    def __repr__(self) -> str:
+        """Debugging form carrying the scope triple."""
+        return (
+            f"<RNGRegistry root_seed={self.root_seed} "
+            f"scenario={self.scenario!r} worker={self.worker} "
+            f"repetition={self.repetition}>"
+        )

@@ -6,6 +6,13 @@ changing how often one component draws does not perturb the variates seen
 by the others — the classic "common random numbers" discipline used in
 simulation studies.
 
+Seeding is delegated to :mod:`repro.rng` (the repository's single
+seeding authority): :class:`RandomStreams` is the simulation-facing
+alias of :class:`repro.rng.RNGManager`, kept for the established stream
+naming convention (``"lan.<src>-><dst>"``, ``"client.<host>.think"``,
+…).  The derivation is byte-identical to the historic in-module scheme,
+so the migration changed no simulation result.
+
 Distributions used by the reproduction (normal/truncated-normal service
 delays, exponential think times, bursty link delays) are exposed as small
 wrapper classes with a uniform ``sample()`` interface so scenario files can
@@ -14,11 +21,12 @@ configure them declaratively.
 
 from __future__ import annotations
 
-import hashlib
 import math
-from typing import Dict, Sequence
+from typing import Sequence
 
 import numpy as np
+
+from ..rng import RNGManager
 
 __all__ = [
     "RandomStreams",
@@ -36,14 +44,14 @@ __all__ = [
 ]
 
 
-def _derive_seed(root_seed: int, name: str) -> int:
-    """Derive a 64-bit child seed from ``root_seed`` and a stream name."""
-    digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
-    return int.from_bytes(digest[:8], "little")
-
-
-class RandomStreams:
+class RandomStreams(RNGManager):
     """A family of independent, named random substreams.
+
+    A thin subclass of :class:`repro.rng.RNGManager` that pins the
+    simulation layer's seeding to the shared derivation scheme
+    (docs/REPRODUCIBILITY.md).  ``seed`` is the legacy alias for
+    ``base_seed``; ``stream``/``substream``/``fork`` come from the
+    manager unchanged.
 
     >>> streams = RandomStreams(seed=42)
     >>> rng = streams.stream("replica-3.service")
@@ -52,20 +60,7 @@ class RandomStreams:
     """
 
     def __init__(self, seed: int = 0):
-        self.seed = int(seed)
-        self._streams: Dict[str, np.random.Generator] = {}
-
-    def stream(self, name: str) -> np.random.Generator:
-        """Return (creating if needed) the substream called ``name``."""
-        rng = self._streams.get(name)
-        if rng is None:
-            rng = np.random.default_rng(_derive_seed(self.seed, name))
-            self._streams[name] = rng
-        return rng
-
-    def fork(self, name: str) -> "RandomStreams":
-        """A child family whose streams are independent of this family's."""
-        return RandomStreams(_derive_seed(self.seed, f"fork:{name}"))
+        super().__init__(base_seed=seed)
 
 
 class Distribution:

@@ -14,8 +14,9 @@ from typing import List, Optional
 
 from ..gateway.handlers.timing_fault import ReplyOutcome
 from ..orb.orb import Stub
+from ..rng import RNGManager
 from ..sim.kernel import Simulator
-from ..sim.random import Constant, Distribution, RandomStreams
+from ..sim.random import Constant, Distribution
 
 __all__ = ["ClientSummary", "ClosedLoopClient", "OpenLoopClient"]
 
@@ -110,7 +111,7 @@ class ClosedLoopClient:
         sim: Simulator,
         stub: Stub,
         host: str,
-        streams: RandomStreams,
+        streams: RNGManager,
         method: str = "process",
         num_requests: int = 50,
         think_time: Optional[Distribution] = None,
@@ -176,7 +177,7 @@ class OpenLoopClient:
         sim: Simulator,
         stub: Stub,
         host: str,
-        streams: RandomStreams,
+        streams: RNGManager,
         interarrival: Distribution,
         method: str = "process",
         num_requests: int = 100,

@@ -2,7 +2,11 @@
 
 A :class:`Scenario` wires kernel, LAN, transport, group communication,
 ORB, Proteus manager, replicas and clients together with one shared seed,
-so experiments and examples only describe *what* varies.  The defaults
+so experiments and examples only describe *what* varies.  All randomness
+flows through one named-stream :class:`~repro.sim.random.RandomStreams`
+manager (the ``repro.rng`` discipline, docs/REPRODUCIBILITY.md), so a
+scenario is replayable from ``config.seed`` alone and adding a component
+never perturbs the draws of existing ones.  The defaults
 reproduce the paper's §6 testbed: seven replicas on distinct hosts, an
 integer-returning servant, and service delays drawn from
 Normal(100 ms, 50 ms).

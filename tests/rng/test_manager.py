@@ -1,0 +1,194 @@
+"""Determinism and derivation contracts of repro.rng (tentpole, ISSUE 6)."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.rng import (
+    RNGManager,
+    RNGRegistry,
+    derive_entity_seed,
+    derive_repetition_seed,
+    derive_seed,
+    seed_sequence,
+)
+from repro.sim.random import RandomStreams
+
+
+class TestDeriveSeed:
+    def test_deterministic_across_instances(self):
+        assert derive_seed(42, "lan") == derive_seed(42, "lan")
+
+    def test_matches_documented_construction(self):
+        # The normative scheme of docs/REPRODUCIBILITY.md: join with ":",
+        # sha256, first 8 digest bytes little-endian.
+        digest = hashlib.sha256(b"42:client-1.policy").digest()
+        expected = int.from_bytes(digest[:8], "little")
+        assert derive_seed(42, "client-1.policy") == expected
+
+    def test_single_part_matches_legacy_sim_derivation(self):
+        # The historic repro.sim.random scheme hashed f"{seed}:{name}" the
+        # same way; this equality is what kept every simulation result
+        # unchanged when RandomStreams was rebased onto RNGManager.
+        for seed, name in [(0, "lan.a->b"), (7, "service.s-1"), (123, "x")]:
+            digest = hashlib.sha256(f"{seed}:{name}".encode()).digest()
+            assert derive_seed(seed, name) == int.from_bytes(
+                digest[:8], "little"
+            )
+
+    def test_distinct_keys_distinct_seeds(self):
+        seeds = {
+            derive_seed(1, "a"),
+            derive_seed(1, "b"),
+            derive_seed(2, "a"),
+            derive_seed(1, "a", "b"),
+        }
+        assert len(seeds) == 4
+
+    def test_requires_at_least_one_part(self):
+        with pytest.raises(ValueError):
+            derive_seed(1)
+
+
+class TestEntityAndRepetitionSeeds:
+    def test_entity_encoding_never_collides_with_stream_name(self):
+        # substream("s", "x") keys on "entity=x", not the literal "x",
+        # so a stream literally named "s:x" cannot alias it.
+        assert derive_entity_seed(1, "s", "x") != derive_seed(1, "s", "x")
+        assert derive_entity_seed(1, "s", "x") == derive_seed(
+            1, "s", "entity=x"
+        )
+
+    def test_repetition_refines_entity(self):
+        base = derive_entity_seed(3, "sweep", 0)
+        with_rep = derive_entity_seed(3, "sweep", 0, repetition=1)
+        assert base != with_rep
+        assert with_rep == derive_seed(3, "sweep", "entity=0", "rep=1")
+
+    def test_repetition_seed_rejects_negative(self):
+        with pytest.raises(ValueError):
+            derive_repetition_seed(0, -1)
+
+    def test_repetition_seeds_are_distinct(self):
+        seeds = [derive_repetition_seed(5, r) for r in range(32)]
+        assert len(set(seeds)) == 32
+
+    def test_seed_sequence_wraps_derived_entropy(self):
+        seq = seed_sequence(9, "probe")
+        direct = np.random.default_rng(derive_seed(9, "probe"))
+        via_seq = np.random.default_rng(seq)
+        assert via_seq.uniform() == direct.uniform()
+
+
+class TestRNGManager:
+    def test_stream_memoized(self):
+        manager = RNGManager(base_seed=1)
+        assert manager.stream("a") is manager.stream("a")
+
+    def test_creation_order_irrelevant(self):
+        first = RNGManager(base_seed=11)
+        second = RNGManager(base_seed=11)
+        a1 = first.stream("a").uniform()
+        b1 = first.stream("b").uniform()
+        # Opposite creation order on the twin manager.
+        b2 = second.stream("b").uniform()
+        a2 = second.stream("a").uniform()
+        assert (a1, b1) == (a2, b2)
+
+    def test_substream_interleaving_invariance(self):
+        # Drawing entities round-robin vs entity-at-a-time must give each
+        # entity the identical private sequence.
+        robin = RNGManager(base_seed=4)
+        blocked = RNGManager(base_seed=4)
+        interleaved = {e: [] for e in ("x", "y", "z")}
+        for _ in range(5):
+            for entity in ("x", "y", "z"):
+                interleaved[entity].append(
+                    robin.substream("svc", entity).uniform()
+                )
+        for entity in ("z", "x", "y"):  # different order again
+            block = [
+                blocked.substream("svc", entity).uniform() for _ in range(5)
+            ]
+            assert block == interleaved[entity]
+
+    def test_substream_repetition_axis_is_independent(self):
+        manager = RNGManager(base_seed=2)
+        r0 = manager.substream("svc", "x", repetition=0).uniform()
+        r1 = manager.substream("svc", "x", repetition=1).uniform()
+        plain = manager.substream("svc", "x").uniform()
+        assert len({r0, r1, plain}) == 3
+
+    def test_child_seed_does_not_create_stream(self):
+        manager = RNGManager(base_seed=3)
+        manager.child_seed("quiet")
+        assert not manager._streams
+        assert manager.child_seed("quiet") == derive_seed(3, "quiet")
+
+    def test_child_seed_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            RNGManager(0).child_seed("")
+
+    def test_reset_replays_identically(self):
+        manager = RNGManager(base_seed=8)
+        before = manager.stream("a").uniform(size=4).tolist()
+        manager.reset()
+        assert manager.stream("a").uniform(size=4).tolist() == before
+
+    def test_fork_is_independent_and_deterministic(self):
+        parent = RNGManager(base_seed=6)
+        child = parent.fork("stage2")
+        assert child.base_seed == derive_seed(6, "fork:stage2")
+        assert child.base_seed != parent.base_seed
+        assert parent.fork("stage2").base_seed == child.base_seed
+
+    def test_legacy_seed_alias(self):
+        assert RNGManager(base_seed=17).seed == 17
+
+
+class TestRandomStreamsCompat:
+    def test_randomstreams_is_an_rng_manager(self):
+        assert isinstance(RandomStreams(seed=0), RNGManager)
+
+    def test_stream_sequences_match_plain_manager(self):
+        # The sim layer's streams and a bare manager with the same base
+        # seed are the same streams — RandomStreams adds distributions,
+        # not derivation.
+        legacy = RandomStreams(seed=33)
+        manager = RNGManager(base_seed=33)
+        for name in ("lan.c->s-1", "service.s-2", "client-1.policy"):
+            assert (
+                legacy.stream(name).uniform(size=3).tolist()
+                == manager.stream(name).uniform(size=3).tolist()
+            )
+
+
+class TestRNGRegistry:
+    def test_no_scope_equals_plain_manager(self):
+        assert RNGRegistry(21).base_seed == RNGManager(21).base_seed
+
+    def test_scope_folds_into_base_seed(self):
+        scoped = RNGRegistry(5, scenario="a15", worker=1, repetition=2)
+        assert scoped.root_seed == 5
+        assert scoped.base_seed == derive_seed(
+            5, "scenario=a15", "worker=1", "rep=2"
+        )
+
+    def test_equal_scopes_reproduce(self):
+        one = RNGRegistry(9, scenario="s", worker=0, repetition=1)
+        two = RNGRegistry(9, scenario="s", worker=0, repetition=1)
+        assert one.stream("x").uniform() == two.stream("x").uniform()
+
+    def test_scopes_are_disjoint(self):
+        base = RNGRegistry(9, scenario="s", worker=0, repetition=0)
+        seeds = {
+            base.base_seed,
+            RNGRegistry(9, scenario="s", worker=1, repetition=0).base_seed,
+            RNGRegistry(9, scenario="s", worker=0, repetition=1).base_seed,
+            RNGRegistry(9, scenario="t", worker=0, repetition=0).base_seed,
+        }
+        assert len(seeds) == 4
+
+    def test_fork_preserves_registry_type(self):
+        assert isinstance(RNGRegistry(1).fork("x"), RNGRegistry)
