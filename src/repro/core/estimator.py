@@ -40,7 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .distribution import DiscretePMF
+from .distribution import DiscretePMF, batch_convolve
 from .repository import InformationRepository, ReplicaRecord, SlidingWindow
 
 __all__ = ["ResponseTimeEstimator", "QueueScaledEstimator"]
@@ -83,6 +83,10 @@ class ResponseTimeEstimator:
         # (pmf tuple, padded values, cumulative, tolerances, sizes) for the
         # batched F(t) evaluation; valid while every pmf object is reused.
         self._batch_cache: Optional[tuple] = None
+        # (replica tuple, repository version, pmf list): skips the whole
+        # per-replica cache walk when nothing in the repository moved —
+        # the fleet-scale steady state costs one integer compare.
+        self._pmf_list_cache: Optional[tuple] = None
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -139,6 +143,44 @@ class ResponseTimeEstimator:
             self._conv_cache[record.name] = (key, conv)
         return conv
 
+    def _refresh_convolutions(self, replicas: Sequence[str]) -> None:
+        """Rebuild every stale ``S_i ⊛ W_i`` in one padded FFT pass.
+
+        The per-replica convolution cache is consulted first; replicas
+        whose window versions moved since the cached entry contribute one
+        row each to :func:`repro.core.distribution.batch_convolve`, so a
+        fleet-wide measurement burst costs one batched array kernel
+        instead of ``n`` independent ``O(L²)`` products.  Rows the dense
+        kernel declines (off-grid, over budget) simply stay stale and are
+        rebuilt by the scalar path on first use — results are identical
+        either way.
+        """
+        stale: List[Tuple[str, Tuple[int, int], DiscretePMF, DiscretePMF]] = []
+        for name in replicas:
+            if name not in self.repository:
+                continue
+            record = self.repository.record(name)
+            if not record.has_history:
+                continue
+            key = (record.service_times.version, record.queue_delays.version)
+            cached = self._conv_cache.get(name)
+            if cached is not None and cached[0] == key:
+                continue
+            stale.append(
+                (
+                    name,
+                    key,
+                    self._window_pmf(record.service_times),
+                    self._window_pmf(record.queue_delays),
+                )
+            )
+        if len(stale) < 2:
+            return
+        convolved = batch_convolve([(s, w) for _, _, s, w in stale])
+        for (name, key, _, _), pmf in zip(stale, convolved):
+            if pmf is not None:
+                self._conv_cache[name] = (key, pmf)
+
     def _build_pmf(self, record: ReplicaRecord) -> DiscretePMF:
         base = self._base_pmf(record)
         # §5.3.1 extension: with a gateway-delay window, T_i enters as a
@@ -177,9 +219,11 @@ class ResponseTimeEstimator:
         Per-replica entries are ``None`` without history, exactly as
         :meth:`probability_by`.  When every pmf object is unchanged since
         the previous call, evaluation is a single comparison over a cached
-        padded matrix — the hot path of ``DynamicSelectionPolicy``.
+        padded matrix — the hot path of ``DynamicSelectionPolicy``.  When
+        windows *did* move, the stale ``S ⊛ W`` convolutions are first
+        refreshed in one batched FFT pass (:meth:`_refresh_convolutions`).
         """
-        pmfs = [self.response_time_pmf(replica) for replica in replicas]
+        pmfs = self._batch_pmfs(replicas)
         results: List[Optional[float]] = [None] * len(pmfs)
         if deadline_ms <= 0:
             for index, pmf in enumerate(pmfs):
@@ -195,6 +239,35 @@ class ResponseTimeEstimator:
         for (index, _), probability in zip(known, probabilities):
             results[index] = probability
         return results
+
+    def _batch_pmfs(
+        self, replicas: Sequence[str]
+    ) -> List[Optional[DiscretePMF]]:
+        """Per-replica response-time pmfs, version-gated for the fleet.
+
+        The steady state at fleet scale must not pay an O(n) python walk
+        over per-replica cache keys per request, so the full pmf list is
+        cached against ``repository.version`` — a single integer that
+        moves on *any* record or membership mutation routed through the
+        repository/record APIs (the only mutation paths production code
+        uses; mutating a window object directly bypasses the gate).
+        """
+        version = getattr(self.repository, "version", None)
+        replicas_key = tuple(replicas)
+        if self.incremental and version is not None:
+            cached = self._pmf_list_cache
+            if (
+                cached is not None
+                and cached[1] == version
+                and cached[0] == replicas_key
+            ):
+                return cached[2]
+        if self.incremental and len(replicas) > 1:
+            self._refresh_convolutions(replicas)
+        pmfs = [self.response_time_pmf(replica) for replica in replicas]
+        if self.incremental and version is not None:
+            self._pmf_list_cache = (replicas_key, version, pmfs)
+        return pmfs
 
     def _batch_cdf(
         self, pmfs: Tuple[DiscretePMF, ...], t: float
@@ -247,6 +320,7 @@ class ResponseTimeEstimator:
             self._cache.pop(replica, None)
             self._conv_cache.pop(replica, None)
         self._batch_cache = None
+        self._pmf_list_cache = None
 
     def prune(self, keep: Sequence[str]) -> None:
         """Drop cache entries for replicas not in ``keep`` (view changes)."""
@@ -258,6 +332,7 @@ class ResponseTimeEstimator:
             if name not in keep_set:
                 del self._conv_cache[name]
         self._batch_cache = None
+        self._pmf_list_cache = None
 
     def cache_info(self) -> Dict[str, int]:
         """Hit/miss counters of the final-pmf cache (for benchmarks)."""
@@ -294,6 +369,12 @@ class QueueScaledEstimator(ResponseTimeEstimator):
         # The scaled pmf also depends on the live queue depth, which can
         # change without a window version bump (e.g. probe replies).
         return super()._cache_key(record) + (record.queue_length,)
+
+    def _refresh_convolutions(self, replicas: Sequence[str]) -> None:
+        # The queue-scaled build path rescales W_i before convolving, so
+        # the plain S ⊛ W convolution cache is never consulted — batching
+        # it would be pure wasted work.
+        return None
 
     def _build_pmf(self, record: ReplicaRecord) -> DiscretePMF:
         service_pmf = self._window_pmf(record.service_times)

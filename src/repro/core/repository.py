@@ -124,6 +124,7 @@ class ReplicaRecord:
         name: str,
         window_size: int,
         gateway_window_size: Optional[int] = None,
+        on_mutate: Optional[callable] = None,
     ):
         self.name = name
         self.service_times = SlidingWindow(window_size)
@@ -134,9 +135,26 @@ class ReplicaRecord:
             if gateway_window_size is not None
             else None
         )
-        self.queue_length = 0
+        self._queue_length = 0
         self.last_update_ms: Optional[float] = None
         self._version = 0
+        # Owner notification (the repository's global version bump): lets
+        # batch consumers invalidate on *any* record mutation — including
+        # direct ``record.queue_length = n`` writes from probe replies —
+        # without scanning every per-record version.
+        self._on_mutate = on_mutate
+
+    @property
+    def queue_length(self) -> int:
+        """Outstanding requests in the replica's queue (live value)."""
+        return self._queue_length
+
+    @queue_length.setter
+    def queue_length(self, value: int) -> None:
+        self._queue_length = int(value)
+        self._version += 1
+        if self._on_mutate is not None:
+            self._on_mutate()
 
     @property
     def has_history(self) -> bool:
@@ -168,7 +186,7 @@ class ReplicaRecord:
             raise ValueError(f"queue_length must be >= 0, got {queue_length}")
         self.service_times.append(service_time_ms)
         self.queue_delays.append(queue_delay_ms)
-        self.queue_length = int(queue_length)
+        self.queue_length = int(queue_length)  # setter bumps + notifies
         self.last_update_ms = float(now_ms)
         self._version += 1
 
@@ -183,6 +201,8 @@ class ReplicaRecord:
             self.gateway_delays.append(float(delay_ms))
         self.last_update_ms = float(now_ms)
         self._version += 1
+        if self._on_mutate is not None:
+            self._on_mutate()
 
     def staleness(self, now_ms: float) -> float:
         """Milliseconds since the last update (``inf`` if never updated).
@@ -225,6 +245,22 @@ class InformationRepository:
         self.window_size = int(window_size)
         self.gateway_window_size = gateway_window_size
         self._records: Dict[str, ReplicaRecord] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone counter over *every* mutation of any tracked record.
+
+        Membership changes and record updates (windows, gateway delays,
+        live queue depths) all bump it, so one integer comparison tells a
+        batch consumer whether anything it derived from this repository
+        could have changed — the gate on the estimator's fleet-wide pmf
+        cache (``ResponseTimeEstimator.batch_probability_by``).
+        """
+        return self._version
+
+    def _bump(self) -> None:
+        self._version += 1
 
     # -- membership ----------------------------------------------------------
     def add_replica(self, name: str) -> ReplicaRecord:
@@ -232,14 +268,19 @@ class InformationRepository:
         record = self._records.get(name)
         if record is None:
             record = ReplicaRecord(
-                name, self.window_size, self.gateway_window_size
+                name,
+                self.window_size,
+                self.gateway_window_size,
+                on_mutate=self._bump,
             )
             self._records[name] = record
+            self._bump()
         return record
 
     def remove_replica(self, name: str) -> None:
         """Forget a replica (idempotent) — e.g. on a crash notification."""
-        self._records.pop(name, None)
+        if self._records.pop(name, None) is not None:
+            self._bump()
 
     def sync_members(self, members: Iterable[str]) -> None:
         """Reconcile tracked replicas with a new group view."""
@@ -247,6 +288,7 @@ class InformationRepository:
         for name in list(self._records):
             if name not in members:
                 del self._records[name]
+                self._bump()
         for name in members:
             self.add_replica(name)
 

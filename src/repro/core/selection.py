@@ -31,6 +31,7 @@ __all__ = [
     "ReplicaProbability",
     "SelectionResult",
     "select_replicas",
+    "select_replicas_arrays",
     "SelectionContext",
     "SelectionDecision",
     "SelectionPolicy",
@@ -126,6 +127,42 @@ def select_replicas(
     """
     if not candidates:
         raise ValueError("select_replicas needs at least one candidate")
+    names = np.array([c.name for c in candidates])
+    probabilities = np.array([c.probability for c in candidates])
+    return select_replicas_arrays(
+        names,
+        probabilities,
+        min_probability,
+        crash_tolerance=crash_tolerance,
+        max_size=max_size,
+    )
+
+
+def select_replicas_arrays(
+    names: np.ndarray,
+    probabilities: np.ndarray,
+    min_probability: float,
+    crash_tolerance: int = 1,
+    max_size: Optional[int] = None,
+) -> SelectionResult:
+    """Algorithm 1 straight over parallel ``(names, probabilities)`` arrays.
+
+    The allocation-free fast path behind :func:`select_replicas`: at
+    fleet scale (ISSUE 7 benchmarks 1024 replicas) building one
+    :class:`ReplicaProbability` per candidate per request costs more
+    than the algorithm itself, so callers that already hold arrays —
+    the dynamic policy fed by the estimator's batch pass, the scale
+    benchmark — skip the object layer entirely.  Semantics, validation
+    and tie-breaking are identical to :func:`select_replicas`.
+    """
+    names = np.asarray(names)
+    probabilities = np.asarray(probabilities, dtype=float)
+    if names.size == 0:
+        raise ValueError("select_replicas needs at least one candidate")
+    if probabilities.size and (
+        float(probabilities.min()) < 0.0 or float(probabilities.max()) > 1.0
+    ):
+        raise ValueError("probabilities must be in [0, 1]")
     if not 0.0 <= min_probability <= 1.0:
         raise ValueError(
             f"min_probability must be in [0, 1], got {min_probability}"
@@ -134,12 +171,11 @@ def select_replicas(
         raise ValueError(f"crash_tolerance must be >= 0, got {crash_tolerance}")
     if max_size is not None and max_size < 1:
         raise ValueError(f"max_size must be >= 1, got {max_size}")
+    total = int(names.size)
 
     # Line 3: sort in decreasing order of F_{R_i}(t); ties by name.  The
     # whole algorithm runs vectorized: one lexsort, one cumulative product
     # over the miss probabilities, one threshold search.
-    names = np.array([c.name for c in candidates])
-    probabilities = np.array([c.probability for c in candidates])
     order = np.lexsort((names, -probabilities))
     names = names[order]
     # Running product of (1 - F) in selection order; prefix k of it is the
@@ -148,14 +184,14 @@ def select_replicas(
 
     # Line 4 (generalized): always protect the best `crash_tolerance`
     # replicas; they join the result but not the acceptance test.
-    protected_count = min(crash_tolerance, len(candidates))
+    protected_count = min(crash_tolerance, total)
 
     # Overload-governor cap, floored at the structural single-crash
     # guarantee (the protected best plus one survivor).
-    cap = len(candidates)
+    cap = total
     if max_size is not None:
-        floor = min(crash_tolerance + 1, len(candidates))
-        cap = min(max(max_size, floor), len(candidates))
+        floor = min(crash_tolerance + 1, total)
+        cap = min(max(max_size, floor), total)
 
     # Lines 6-14: the candidate set X is the smallest prefix of the
     # remainder whose combined probability covers Pc.
@@ -184,7 +220,7 @@ def select_replicas(
 
     # Line 15: no acceptable subset — return the complete set M (trimmed
     # to the governor's cap when one is in force).
-    capped = cap < len(candidates)
+    capped = cap < total
     remainder_size = cap - protected_count
     crash_safe = (
         float(covered[remainder_size - 1])
@@ -367,8 +403,6 @@ class DynamicSelectionPolicy(SelectionPolicy):
         # replica there is no model for it; the first access selects all
         # (non-quarantined) replicas so that every one starts publishing
         # updates.
-        candidates: List[ReplicaProbability] = []
-        missing_history = False
         deadline = ctx.qos.deadline_ms
         if self.compensate_overhead:
             delta = (
@@ -388,14 +422,10 @@ class DynamicSelectionPolicy(SelectionPolicy):
                 ctx.estimator.probability_by(replica, deadline)
                 for replica in replicas
             ]
-        for replica, probability in zip(replicas, probabilities):
-            if probability is None:
-                missing_history = True
-                break
-            candidates.append(ReplicaProbability(replica, probability))
+        missing_history = any(p is None for p in probabilities)
 
         cap = ctx.max_redundancy
-        if missing_history or not candidates:
+        if missing_history or not replicas:
             selected = tuple(replicas)
             if cap is not None:
                 # Even the select-all bootstrap respects the governor:
@@ -414,8 +444,8 @@ class DynamicSelectionPolicy(SelectionPolicy):
         if self.stale_after_ms is not None:
             repository = getattr(ctx.estimator, "repository", None)
             if repository is not None and all(
-                repository.staleness(ctx.now_ms, c.name) > self.stale_after_ms
-                for c in candidates
+                repository.staleness(ctx.now_ms, name) > self.stale_after_ms
+                for name in replicas
             ):
                 fallback_ctx = replace(ctx, replicas=replicas)
                 delegated = self.stale_fallback.decide(fallback_ctx)
@@ -442,17 +472,20 @@ class DynamicSelectionPolicy(SelectionPolicy):
 
         # Health-discounted F_{R_i}(t): suspected/probation replicas keep
         # competing, but with their probability scaled by the monitor's
-        # trust discount.
+        # trust discount.  From here down the decision stays in parallel
+        # arrays — no per-replica ReplicaProbability objects on the hot
+        # path (that allocation dominated at fleet scale; see
+        # docs/PERFORMANCE.md §6).
+        names = np.asarray(replicas)
+        probs = np.asarray(probabilities, dtype=float)
         if ctx.health is not None:
-            candidates = [
-                ReplicaProbability(
-                    c.name, c.probability * ctx.health.discount(c.name)
-                )
-                for c in candidates
-            ]
+            probs = probs * np.asarray(
+                [ctx.health.discount(name) for name in replicas], dtype=float
+            )
 
-        result = select_replicas(
-            candidates,
+        result = select_replicas_arrays(
+            names,
+            probs,
             ctx.qos.min_probability,
             crash_tolerance=self.crash_tolerance,
             max_size=cap,
@@ -469,9 +502,7 @@ class DynamicSelectionPolicy(SelectionPolicy):
                     "full_probability": result.full_probability,
                     "effective_deadline_ms": deadline,
                     "overhead_ms": self.last_overhead_ms,
-                    "probabilities": {
-                        c.name: c.probability for c in candidates
-                    },
+                    "probabilities": dict(zip(replicas, probs.tolist())),
                 }
             ),
         )

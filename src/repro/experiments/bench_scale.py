@@ -1,0 +1,215 @@
+"""Scale benchmark — selection and kernel throughput at fleet size.
+
+ROADMAP item 2 ("vectorized event kernel + FFT convolution for 100–1000
+replica fleets"): the Fig. 3 curves stop at the paper's n = 8, which
+says nothing about whether the gateway can pick replicas out of a fleet.
+This benchmark extends the measurement to n ∈ {64, 256, 1024} replicas
+and windows up to l = 240, and adds an end-to-end event-kernel
+throughput figure (events/sec through :class:`repro.sim.Simulator`'s
+slotted queue), exported together as ``BENCH_scale.json`` so CI tracks
+both numbers PR over PR.
+
+Acceptance target (ISSUE 7): one cached selection over 1024 replicas in
+under 1 ms.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..sim.kernel import Simulator
+from .fig3_overhead import measure_overhead
+from .harness import print_table
+
+__all__ = [
+    "ScalePoint",
+    "KernelPoint",
+    "measure_selection_scale",
+    "measure_kernel_throughput",
+    "export_scale_bench",
+    "main",
+]
+
+#: Fleet sizes the scale benchmark sweeps (Fig. 3 stops at 8).
+REPLICA_COUNTS = (64, 256, 1024)
+#: Window sizes, up to the 240-entry ceiling of ISSUE 7.
+WINDOW_SIZES = (60, 240)
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """Selection cost at one ``(n, l)`` fleet-scale point."""
+
+    num_replicas: int
+    window_size: int
+    cached_us: float
+    uncached_us: float
+
+    @property
+    def speedup(self) -> float:
+        """Uncached-over-cached cost ratio at this point."""
+        if self.cached_us == 0:
+            return float("inf")
+        return self.uncached_us / self.cached_us
+
+
+@dataclass(frozen=True)
+class KernelPoint:
+    """Raw event-dispatch throughput at one pending-set size."""
+
+    pending_timers: int
+    events: int
+    elapsed_s: float
+
+    @property
+    def events_per_sec(self) -> float:
+        """Dispatched events per wall-clock second."""
+        if self.elapsed_s == 0:
+            return float("inf")
+        return self.events / self.elapsed_s
+
+
+def measure_selection_scale(
+    replica_counts: Sequence[int] = REPLICA_COUNTS,
+    window_sizes: Sequence[int] = WINDOW_SIZES,
+    cached_iterations: int = 50,
+    uncached_iterations: int = 3,
+) -> List[ScalePoint]:
+    """Cached and uncached selection cost over the fleet-scale grid.
+
+    Reuses the Fig. 3 harness (same repository builder, same two-phase
+    measurement) so the numbers are directly comparable with
+    ``BENCH_estimator.json``; only the grid is larger.  The uncached arm
+    rebuilds every distribution per request — with the lattice/FFT
+    convolution that is now ``O(n · L log L)`` rather than ``O(n · L²)``
+    — so a handful of iterations suffices for a stable mean.
+    """
+    points = []
+    for window_size in window_sizes:
+        for num_replicas in replica_counts:
+            uncached = measure_overhead(
+                num_replicas,
+                window_size,
+                iterations=uncached_iterations,
+                cached=False,
+            )
+            cached = measure_overhead(
+                num_replicas,
+                window_size,
+                iterations=cached_iterations,
+                cached=True,
+            )
+            points.append(
+                ScalePoint(
+                    num_replicas=num_replicas,
+                    window_size=window_size,
+                    cached_us=cached.total_us,
+                    uncached_us=uncached.total_us,
+                )
+            )
+    return points
+
+
+def measure_kernel_throughput(
+    pending_timers: int = 512, target_events: int = 200_000
+) -> KernelPoint:
+    """Events/sec through the kernel with ``pending_timers`` live timers.
+
+    Each timer perpetually reschedules itself with a 1 ms period from a
+    staggered phase, so the pending set stays at ``pending_timers``
+    entries while ``target_events`` dispatches stream through — the
+    same push/pop pattern a running scenario produces, minus the model
+    work, isolating the queue itself.
+    """
+    sim = Simulator()
+
+    def make_timer() -> object:
+        def tick() -> None:
+            sim.call_in(1.0, tick)
+
+        return tick
+
+    for index in range(pending_timers):
+        sim.call_in(index / pending_timers, make_timer())
+    horizon = float(target_events) / pending_timers
+    started = time.perf_counter()
+    sim.run(until=horizon)
+    elapsed = time.perf_counter() - started
+    return KernelPoint(
+        pending_timers=pending_timers,
+        events=sim.processed_events,
+        elapsed_s=elapsed,
+    )
+
+
+def export_scale_bench(
+    selection: Sequence[ScalePoint],
+    kernel: Sequence[KernelPoint],
+    path: str,
+) -> None:
+    """Write ``BENCH_scale.json`` (format: docs/PERFORMANCE.md §7)."""
+    payload: Dict[str, object] = {
+        "benchmark": "scale-kernel",
+        "description": (
+            "Fleet-scale selection overhead (lattice/FFT convolution + "
+            "batched refresh + padded-matrix CDF) and raw event-kernel "
+            "dispatch throughput (slotted EventQueue)."
+        ),
+        "selection": {
+            "unit": "microseconds per selection (mean over iterations)",
+            "points": [
+                {
+                    "num_replicas": p.num_replicas,
+                    "window_size": p.window_size,
+                    "cached_us": round(p.cached_us, 3),
+                    "uncached_us": round(p.uncached_us, 3),
+                    "speedup": round(p.speedup, 2),
+                }
+                for p in selection
+            ],
+        },
+        "kernel": {
+            "unit": "events per wall-clock second",
+            "points": [
+                {
+                    "pending_timers": p.pending_timers,
+                    "events": p.events,
+                    "events_per_sec": round(p.events_per_sec, 1),
+                }
+                for p in kernel
+            ],
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def main() -> None:
+    """Print the fleet-scale tables and export ``BENCH_scale.json``."""
+    selection = measure_selection_scale()
+    print_table(
+        "Fleet-scale selection overhead (microseconds per selection)",
+        ["window l", "replicas n", "cached us", "uncached us", "speedup"],
+        [
+            (p.window_size, p.num_replicas, p.cached_us, p.uncached_us, p.speedup)
+            for p in selection
+        ],
+    )
+    kernel = [
+        measure_kernel_throughput(pending_timers=n) for n in (64, 512, 4096)
+    ]
+    print_table(
+        "Event-kernel dispatch throughput",
+        ["pending timers", "events", "events/sec"],
+        [(p.pending_timers, p.events, p.events_per_sec) for p in kernel],
+    )
+    export_scale_bench(selection, kernel, "BENCH_scale.json")
+    print("wrote BENCH_scale.json")
+
+
+if __name__ == "__main__":
+    main()

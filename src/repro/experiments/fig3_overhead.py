@@ -23,7 +23,7 @@ import numpy as np
 
 from ..core.estimator import ResponseTimeEstimator
 from ..core.repository import InformationRepository
-from ..core.selection import ReplicaProbability, select_replicas
+from ..core.selection import select_replicas_arrays
 from .harness import print_table
 
 __all__ = [
@@ -100,6 +100,7 @@ def measure_overhead(
     repository = build_loaded_repository(num_replicas, window_size, seed=seed)
     estimator = ResponseTimeEstimator(repository, incremental=cached)
     replicas = repository.replicas()
+    names = np.asarray(replicas)
     if cached:
         estimator.batch_probability_by(replicas, deadline_ms)  # warm
 
@@ -109,14 +110,11 @@ def measure_overhead(
         if not cached:
             estimator.invalidate()
         started = time.perf_counter()
-        probabilities = [
-            ReplicaProbability(name, probability)
-            for name, probability in zip(
-                replicas, estimator.batch_probability_by(replicas, deadline_ms)
-            )
-        ]
+        probabilities = np.asarray(
+            estimator.batch_probability_by(replicas, deadline_ms), dtype=float
+        )
         mid = time.perf_counter()
-        select_replicas(probabilities, min_probability)
+        select_replicas_arrays(names, probabilities, min_probability)
         ended = time.perf_counter()
         distribution_s += mid - started
         selection_s += ended - mid

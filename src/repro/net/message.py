@@ -23,9 +23,12 @@ def next_message_id() -> int:
     return next(_message_counter)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """An envelope travelling between two hosts.
+
+    Slotted: simulations at fleet scale allocate one envelope per hop,
+    so instances carry no per-object ``__dict__``.
 
     Attributes
     ----------

@@ -66,7 +66,7 @@ class Event:
         and may not be shared across kernels.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "_queue_slot")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -74,6 +74,9 @@ class Event:
         self._value: Any = None
         self._ok: Optional[bool] = None
         self._state = EventState.PENDING
+        # Slot index in the kernel's EventQueue while scheduled (-1
+        # otherwise); lets daemon demotion find the entry in O(1).
+        self._queue_slot = -1
 
     # -- inspection ----------------------------------------------------
     @property

@@ -1,8 +1,17 @@
 """The discrete-event simulation kernel.
 
-:class:`Simulator` owns the simulated clock and the pending-event heap.
+:class:`Simulator` owns the simulated clock and the pending-event queue.
 Time is a ``float`` in **milliseconds** throughout the repository, matching
 the units the paper reports.
+
+The pending set is an :class:`EventQueue` — a slotted, array-friendly
+priority queue that packs each entry's ``(when, seq)`` priority into a
+single integer key, keeps event references in a recycled slot table and
+daemon flags in a flat byte array.  Dispatching an event therefore stops
+allocating a fresh ``(when, seq, daemon, event)`` tuple per hop, and
+daemon demotion is an O(1) flag flip instead of an O(n) heap scan, while
+the pop order stays bit-for-bit identical to the historic tuple heap
+(see ``tests/sim/test_event_queue.py``).
 
 The kernel is deliberately small: events (:mod:`repro.sim.events`),
 processes (:mod:`repro.sim.process`) and everything above them are built
@@ -12,12 +21,117 @@ from ``_schedule`` and the run loop below.
 from __future__ import annotations
 
 import heapq
+import struct
+from array import array
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from .events import AllOf, AnyOf, Event, SimulationError, Timeout
 from .process import Process
 
-__all__ = ["Simulator"]
+__all__ = ["EventQueue", "Simulator"]
+
+_FLOAT64 = struct.Struct(">d")
+_SIGN_BIT = 0x8000000000000000
+_UINT64_MASK = 0xFFFFFFFFFFFFFFFF
+# Packed key layout: [64 bits ordered when][48 bits seq][32 bits slot].
+_SEQ_BITS = 48
+_SLOT_BITS = 32
+_SLOT_MASK = (1 << _SLOT_BITS) - 1
+_WHEN_SHIFT = _SEQ_BITS + _SLOT_BITS
+
+
+def _time_key(when: float) -> int:
+    """Map a float instant to an integer with the same total order.
+
+    The IEEE-754 bit pattern of a non-negative double is already
+    monotone in its value; negative values are order-reversed and fixed
+    up with the standard sign-flip transform.  Integer comparison of
+    the results is then exactly float comparison of the inputs.
+    """
+    # -0.0 == 0.0 must key identically (the tuple heap tied them and fell
+    # to the sequence number); adding 0.0 canonicalizes the signed zero.
+    bits = int.from_bytes(_FLOAT64.pack(when + 0.0), "big")
+    if bits & _SIGN_BIT:
+        return bits ^ _UINT64_MASK
+    return bits | _SIGN_BIT
+
+
+class EventQueue:
+    """Slotted pending-event queue with heapq-identical ordering.
+
+    Entries are single integers on a binary heap: the ordered bit
+    pattern of ``when``, then a monotone FIFO sequence number, then the
+    slot index — so popping compares plain ints (C-speed, no tuple per
+    event).  Slot-indexed side tables hold what the tuple used to:
+    event references (a recycled object list), the exact scheduled
+    instant (a flat ``array('d')``) and the daemon flag (a bytearray).
+
+    Ordering contract: pops come out in ascending ``(when, seq)``, the
+    exact order of the historic ``(when, seq, daemon, event)`` tuple
+    heap — ``seq`` is unique, so the daemon flag never decided a
+    comparison there either.
+    """
+
+    __slots__ = ("_keys", "_events", "_whens", "_daemon", "_free", "_seq")
+
+    def __init__(self) -> None:
+        self._keys: List[int] = []
+        self._events: List[Optional[Event]] = []
+        self._whens = array("d")
+        self._daemon = bytearray()
+        self._free: List[int] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def push(self, when: float, event: Event, daemon: bool = False) -> None:
+        """Enqueue ``event`` at instant ``when`` (FIFO-stable on ties)."""
+        if self._free:
+            slot = self._free.pop()
+            self._events[slot] = event
+            self._whens[slot] = when
+            self._daemon[slot] = 1 if daemon else 0
+        else:
+            slot = len(self._events)
+            if slot > _SLOT_MASK:
+                raise SimulationError("event queue slot table overflow")
+            self._events.append(event)
+            self._whens.append(when)
+            self._daemon.append(1 if daemon else 0)
+        self._seq += 1
+        event._queue_slot = slot
+        heapq.heappush(
+            self._keys,
+            (_time_key(when) << _WHEN_SHIFT) | (self._seq << _SLOT_BITS) | slot,
+        )
+
+    def pop(self) -> Tuple[float, Event, bool]:
+        """Dequeue and return ``(when, event, daemon)`` for the next event."""
+        if not self._keys:
+            raise SimulationError("pop() on an empty event queue")
+        slot = heapq.heappop(self._keys) & _SLOT_MASK
+        event = self._events[slot]
+        when = self._whens[slot]
+        daemon = bool(self._daemon[slot])
+        self._events[slot] = None
+        event._queue_slot = -1
+        self._free.append(slot)
+        return when, event, daemon
+
+    def peek_when(self) -> float:
+        """Instant of the next event, or ``inf`` when empty."""
+        if not self._keys:
+            return float("inf")
+        return self._whens[self._keys[0] & _SLOT_MASK]
+
+    def demote(self, event: Event) -> bool:
+        """Flag a scheduled ``event`` as daemon; ``True`` if it flipped."""
+        slot = event._queue_slot
+        if slot < 0 or self._events[slot] is not event or self._daemon[slot]:
+            return False
+        self._daemon[slot] = 1
+        return True
 
 
 class Simulator:
@@ -31,8 +145,7 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._heap: List[Tuple[float, int, bool, Event]] = []
-        self._sequence = 0
+        self._queue = EventQueue()
         self._processed_events = 0
         self._pending_live = 0
 
@@ -58,7 +171,7 @@ class Simulator:
 
     @property
     def pending_live(self) -> int:
-        """Number of non-daemon events still on the heap."""
+        """Number of non-daemon events still pending."""
         return self._pending_live
 
     def spawn(
@@ -105,33 +218,25 @@ class Simulator:
 
     # -- scheduling ------------------------------------------------------
     def _schedule(self, event: Event, delay: float) -> None:
-        """Place ``event`` on the heap ``delay`` ms from now (FIFO-stable)."""
-        self._sequence += 1
+        """Enqueue ``event`` to fire ``delay`` ms from now (FIFO-stable)."""
         self._pending_live += 1
-        heapq.heappush(
-            self._heap, (self._now + delay, self._sequence, False, event)
-        )
+        self._queue.push(self._now + delay, event)
 
     def _demote_to_daemon(self, event: Event) -> None:
         """Re-tag an already scheduled event as daemon (kernel-internal)."""
-        for index, (when, seq, daemon, entry) in enumerate(self._heap):
-            if entry is event and not daemon:
-                self._heap[index] = (when, seq, True, entry)
-                self._pending_live -= 1
-                return
+        if self._queue.demote(event):
+            self._pending_live -= 1
 
     # -- run loop ----------------------------------------------------------
     def peek(self) -> float:
         """Time of the next pending event, or ``float('inf')`` if none."""
-        if not self._heap:
-            return float("inf")
-        return self._heap[0][0]
+        return self._queue.peek_when()
 
     def step(self) -> None:
         """Fire the single next event, advancing the clock to it."""
-        if not self._heap:
-            raise SimulationError("step() on an empty event heap")
-        when, _seq, daemon, event = heapq.heappop(self._heap)
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, event, daemon = self._queue.pop()
         if not daemon:
             self._pending_live -= 1
         self._now = when
@@ -151,10 +256,10 @@ class Simulator:
             raise SimulationError(
                 f"run until {until} ms is in the past (now {self._now} ms)"
             )
-        while self._heap:
+        while self._queue:
             if until is None and self._pending_live == 0:
                 return
-            when = self._heap[0][0]
+            when = self._queue.peek_when()
             if until is not None and when > until:
                 self._now = until
                 return
@@ -166,11 +271,11 @@ class Simulator:
         """Run until ``event`` has been processed; return its value.
 
         Raises the event's exception if it failed, and
-        :class:`SimulationError` if the heap drains (or ``limit`` is hit)
+        :class:`SimulationError` if the queue drains (or ``limit`` is hit)
         before the event fires.
         """
         while not event.processed:
-            if not self._heap:
+            if not self._queue:
                 raise SimulationError("simulation ended before event fired")
             if limit is not None and self.peek() > limit:
                 raise SimulationError(
@@ -184,5 +289,5 @@ class Simulator:
     def __repr__(self) -> str:
         return (
             f"<Simulator now={self._now:.3f}ms "
-            f"pending={len(self._heap)} processed={self._processed_events}>"
+            f"pending={len(self._queue)} processed={self._processed_events}>"
         )

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.core.distribution import DiscretePMF, SampleCounts, quantize
+from repro.core.distribution import (
+    BinWidthMismatchError,
+    DiscretePMF,
+    SampleCounts,
+    batch_convolve,
+    quantize,
+)
 
 
 class TestQuantize:
@@ -280,3 +286,181 @@ class TestConvolveFastPaths:
         weights = np.multiply.outer(pmf.probs, single.probs).ravel()
         reference = DiscretePMF(np.round(sums, 9), weights)
         assert pmf.convolve(single).allclose(reference)
+
+
+def _reference_convolve(a, b):
+    """Pure-python dict convolution — the pre-vectorization semantics."""
+    sums = {}
+    for va, pa in a.items():
+        for vb, pb in b.items():
+            key = round(va + vb, 9)
+            sums[key] = sums.get(key, 0.0) + pa * pb
+    values = sorted(sums)
+    return values, [sums[v] for v in values]
+
+
+def _random_grid_pmf(rng, size, bin_width=1.0, spread=None):
+    """A grid-tagged pmf with exactly ``size`` atoms."""
+    spread = spread if spread is not None else max(4 * size, 8)
+    lattice = rng.choice(spread, size=size, replace=False)
+    weights = rng.random(size) + 0.05
+    return DiscretePMF(
+        np.sort(lattice) * bin_width,
+        weights / weights.sum(),
+        bin_width=bin_width,
+    )
+
+
+def _assert_matches_reference(result, a, b):
+    ref_values, ref_probs = _reference_convolve(a, b)
+    assert result.support_size == len(ref_values)
+    assert np.allclose(result.values, ref_values, atol=1e-9)
+    assert np.allclose(result.probs, ref_probs, atol=1e-9)
+    assert result.probs.sum() == pytest.approx(1.0, abs=1e-12)
+
+
+class TestLatticeConvolution:
+    """The dense direct/FFT kernel vs the pure-python reference."""
+
+    @pytest.mark.parametrize("size", range(1, 65))
+    def test_exhaustive_sizes_match_reference(self, size):
+        # Sweeps straight across the FFT crossover (64 lattice slots):
+        # contiguous supports of `size` atoms span exactly `size` slots.
+        rng = np.random.default_rng(size)
+        weights_a = rng.random(size) + 0.05
+        weights_b = rng.random(size) + 0.05
+        a = DiscretePMF(
+            np.arange(size, dtype=float),
+            weights_a / weights_a.sum(),
+            bin_width=1.0,
+        )
+        b = DiscretePMF(
+            np.arange(size, dtype=float) + 3.0,
+            weights_b / weights_b.sum(),
+            bin_width=1.0,
+        )
+        _assert_matches_reference(a.convolve(b), a, b)
+
+    @pytest.mark.parametrize("trial", range(20))
+    def test_randomized_sparse_supports_match_reference(self, trial):
+        rng = np.random.default_rng(1000 + trial)
+        a = _random_grid_pmf(rng, int(rng.integers(2, 40)))
+        b = _random_grid_pmf(rng, int(rng.integers(2, 40)))
+        _assert_matches_reference(a.convolve(b), a, b)
+
+    def test_fft_side_of_crossover_matches_reference(self):
+        rng = np.random.default_rng(7)
+        a = _random_grid_pmf(rng, 80, spread=90)   # >= 64 lattice slots
+        b = _random_grid_pmf(rng, 75, spread=90)
+        _assert_matches_reference(a.convolve(b), a, b)
+
+    def test_direct_side_of_crossover_matches_reference(self):
+        rng = np.random.default_rng(8)
+        a = _random_grid_pmf(rng, 30, spread=60)   # < 64 lattice slots
+        b = _random_grid_pmf(rng, 30, spread=60)
+        _assert_matches_reference(a.convolve(b), a, b)
+
+    def test_fractional_grid(self):
+        a = DiscretePMF([0.0, 0.5, 1.5], [0.25, 0.5, 0.25], bin_width=0.5)
+        b = DiscretePMF([0.5, 1.0], [0.5, 0.5], bin_width=0.5)
+        _assert_matches_reference(a.convolve(b), a, b)
+
+    def test_untagged_pmfs_take_pairwise_path(self):
+        # Off-grid atoms (irrational spacing) must still convolve exactly.
+        a = DiscretePMF([0.0, 0.3, 1.7], [0.2, 0.3, 0.5])
+        b = DiscretePMF([0.1, 2.9], [0.6, 0.4])
+        _assert_matches_reference(a.convolve(b), a, b)
+
+    def test_grid_tag_propagates_through_convolve(self):
+        a = DiscretePMF.from_samples([1, 2, 2, 5], bin_width=1.0)
+        b = DiscretePMF.from_samples([0, 3, 3], bin_width=1.0)
+        assert a.bin_width == 1.0
+        assert a.convolve(b).bin_width == 1.0
+
+    def test_shift_keeps_tag_scale_drops_it(self):
+        pmf = DiscretePMF.from_samples([1, 2, 4], bin_width=1.0)
+        assert pmf.shift(2.5).bin_width == 1.0
+        assert pmf.scale(1.5).bin_width is None
+
+    def test_fft_mass_is_renormalized(self):
+        rng = np.random.default_rng(11)
+        a = _random_grid_pmf(rng, 200, spread=400)
+        b = _random_grid_pmf(rng, 200, spread=400)
+        result = a.convolve(b)
+        assert result.probs.sum() == pytest.approx(1.0, abs=1e-12)
+        assert np.all(result.probs >= 0.0)
+
+
+class TestBinWidthMismatch:
+    def test_convolve_refuses_different_grids(self):
+        a = DiscretePMF.from_samples([1, 2, 3], bin_width=1.0)
+        b = DiscretePMF.from_samples([1, 2, 3], bin_width=0.5)
+        with pytest.raises(BinWidthMismatchError):
+            a.convolve(b)
+        with pytest.raises(BinWidthMismatchError):
+            b.convolve(a)
+
+    def test_error_is_a_value_error(self):
+        # Callers that guarded with ValueError keep working.
+        assert issubclass(BinWidthMismatchError, ValueError)
+
+    def test_singleton_operand_bypasses_the_check(self):
+        # A constant shift never misaligns a grid.
+        a = DiscretePMF.from_samples([1, 2, 3], bin_width=1.0)
+        b = DiscretePMF.from_samples([5, 5], bin_width=0.5)
+        assert a.convolve(b).allclose(a.shift(5.0))
+
+    def test_untagged_operand_bypasses_the_check(self):
+        a = DiscretePMF.from_samples([1, 2, 3], bin_width=1.0)
+        b = DiscretePMF([0.25, 1.5], [0.5, 0.5])
+        result = a.convolve(b)
+        _assert_matches_reference(result, a, b)
+
+    def test_batch_convolve_raises_on_mismatch(self):
+        a = DiscretePMF.from_samples([1, 2, 3], bin_width=1.0)
+        b = DiscretePMF.from_samples([1, 2, 3], bin_width=2.0)
+        with pytest.raises(BinWidthMismatchError):
+            batch_convolve([(a, b)])
+
+
+class TestBatchConvolve:
+    def test_matches_scalar_convolve(self):
+        rng = np.random.default_rng(21)
+        pairs = [
+            (
+                _random_grid_pmf(rng, int(rng.integers(2, 50))),
+                _random_grid_pmf(rng, int(rng.integers(2, 50))),
+            )
+            for _ in range(12)
+        ]
+        results = batch_convolve(pairs)
+        assert len(results) == len(pairs)
+        for (a, b), result in zip(pairs, results):
+            assert result is not None
+            _assert_matches_reference(result, a, b)
+
+    def test_singletons_become_shifts(self):
+        pmf = DiscretePMF.from_samples([1, 2, 4], bin_width=1.0)
+        single = DiscretePMF.degenerate(3.0)
+        left, right = batch_convolve([(single, pmf), (pmf, single)])
+        assert left.allclose(pmf.shift(3.0))
+        assert right.allclose(pmf.shift(3.0))
+
+    def test_untagged_pairs_come_back_none(self):
+        tagged = DiscretePMF.from_samples([1, 2, 4], bin_width=1.0)
+        untagged = DiscretePMF([0.0, 0.3], [0.5, 0.5])
+        results = batch_convolve([(tagged, untagged), (tagged, tagged)])
+        assert results[0] is None
+        assert results[1] is not None
+
+    def test_mixed_row_lengths_pad_correctly(self):
+        rng = np.random.default_rng(33)
+        pairs = [
+            (_random_grid_pmf(rng, 3, spread=8), _random_grid_pmf(rng, 3, spread=8)),
+            (_random_grid_pmf(rng, 90, spread=120), _random_grid_pmf(rng, 90, spread=120)),
+        ]
+        for (a, b), result in zip(pairs, batch_convolve(pairs)):
+            _assert_matches_reference(result, a, b)
+
+    def test_empty_input(self):
+        assert batch_convolve([]) == []

@@ -199,3 +199,107 @@ class TestQueueScaledEstimator:
         after = estimator.response_time_pmf("r1")
         assert after is not before
         assert after.mean() > before.mean()
+
+
+class TestBatchedFleetPipeline:
+    """ISSUE 7: batched convolution refresh + the repository-version gate."""
+
+    def _fleet(self, num_replicas=16, window=12, seed=0):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        repository = InformationRepository(window_size=window)
+        for index in range(num_replicas):
+            name = f"replica-{index:04d}"
+            for _ in range(window):
+                repository.record_performance(
+                    name,
+                    float(max(0.0, rng.normal(100.0, 40.0))),
+                    float(rng.exponential(15.0)),
+                    queue_length=1,
+                    now_ms=0.0,
+                )
+            repository.record_gateway_delay(
+                name, float(max(0.0, rng.normal(3.0, 0.5))), now_ms=0.0
+            )
+        return repository
+
+    def test_batch_refresh_matches_scalar_path(self):
+        repository = self._fleet()
+        replicas = repository.replicas()
+        batched = ResponseTimeEstimator(repository)
+        scalar = ResponseTimeEstimator(repository, incremental=False)
+        fast = batched.batch_probability_by(replicas, 150.0)
+        slow = [scalar.probability_by(name, 150.0) for name in replicas]
+        assert fast == pytest.approx(slow, abs=1e-12)
+
+    def test_batch_refresh_matches_after_fleet_wide_burst(self):
+        repository = self._fleet()
+        replicas = repository.replicas()
+        estimator = ResponseTimeEstimator(repository)
+        estimator.batch_probability_by(replicas, 150.0)  # warm every cache
+        for name in replicas:  # every window moves at once
+            repository.record_performance(
+                name, 180.0, 25.0, queue_length=2, now_ms=1.0
+            )
+        fresh = ResponseTimeEstimator(repository, incremental=False)
+        fast = estimator.batch_probability_by(replicas, 150.0)
+        slow = [fresh.probability_by(name, 150.0) for name in replicas]
+        assert fast == pytest.approx(slow, abs=1e-12)
+
+    def test_version_gate_caches_steady_state(self):
+        repository = self._fleet()
+        replicas = repository.replicas()
+        estimator = ResponseTimeEstimator(repository)
+        first = estimator.batch_probability_by(replicas, 150.0)
+        misses = estimator.cache_misses
+        hits = estimator.cache_hits
+        second = estimator.batch_probability_by(replicas, 150.0)
+        assert second == first
+        # The version gate short-circuits before any per-replica lookup,
+        # so neither counter of the per-replica cache moves.
+        assert estimator.cache_misses == misses
+        assert estimator.cache_hits == hits
+
+    def test_version_gate_sees_direct_queue_write(self, repo):
+        # Probe replies assign record.queue_length directly; the setter
+        # must bump repository.version so the fleet cache invalidates.
+        _feed(repo, "r1", services=[100] * 5, queues=[10] * 5, gateway=1.0)
+        before = repo.version
+        repo.record("r1").queue_length = 9
+        assert repo.version > before
+
+    def test_version_gate_sees_membership_changes(self, repo):
+        _feed(repo, "r1", services=[100] * 5, queues=[10] * 5, gateway=1.0)
+        estimator = ResponseTimeEstimator(repo)
+        assert estimator.batch_probability_by(["r1"], 150.0)[0] is not None
+        before = repo.version
+        repo.remove_replica("r1")
+        assert repo.version > before
+
+
+@pytest.mark.timeout(60)
+def test_thousand_replica_selection_smoke():
+    """n = 1024 end-to-end: estimator batch pass + Algorithm 1 (ISSUE 7).
+
+    A smoke test, not a benchmark: it proves the fleet-scale path stays
+    functional (and terminates promptly — pytest-timeout enforces the
+    ceiling in CI) without asserting wall-clock numbers, which
+    ``benchmarks/test_bench_scale.py`` owns.
+    """
+    import numpy as np
+
+    from repro.core.selection import select_replicas_arrays
+    from repro.experiments.fig3_overhead import build_loaded_repository
+
+    repository = build_loaded_repository(1024, window_size=30, seed=0)
+    estimator = ResponseTimeEstimator(repository)
+    replicas = repository.replicas()
+    names = np.asarray(replicas)
+    for _ in range(3):  # cold pass, then the version-gated steady state
+        probabilities = np.asarray(
+            estimator.batch_probability_by(replicas, 150.0), dtype=float
+        )
+        result = select_replicas_arrays(names, probabilities, 0.9)
+    assert 1 <= result.redundancy <= 1024
+    assert set(result.selected) <= set(replicas)

@@ -106,3 +106,57 @@ def test_quantile_inverts_cdf(values, q):
     pmf = DiscretePMF.from_samples(values)
     value = pmf.quantile(q)
     assert pmf.cdf(value) >= q - 1e-9
+
+
+# -- ISSUE 7: mass conservation over dense/FFT convolution chains ----------
+
+chain_samples = st.lists(
+    st.lists(
+        st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+        min_size=1,
+        max_size=40,
+    ),
+    min_size=2,
+    max_size=6,
+)
+
+
+@settings(deadline=None, max_examples=40)
+@given(chain_samples, bin_widths)
+def test_convolution_chain_conserves_mass(sample_sets, bin_width):
+    """Long S⊛W⊛… chains stay normalized, non-negative and on-grid.
+
+    The FFT path leaves ± round-off noise in empty lattice slots; the
+    kernel clamps it and renormalizes, so no matter how many convolutions
+    are chained the result is still an exact probability vector.
+    """
+    pmfs = [DiscretePMF.from_samples(s, bin_width) for s in sample_sets]
+    chained = pmfs[0]
+    for pmf in pmfs[1:]:
+        chained = chained.convolve(pmf)
+    assert math.isclose(float(chained.probs.sum()), 1.0, abs_tol=1e-12)
+    assert (chained.probs >= 0.0).all()
+    assert chained.bin_width == bin_width
+    # Support stays on the common lattice.
+    offsets = (chained.values - chained.values[0]) / bin_width
+    assert np.allclose(offsets, np.rint(offsets), atol=1e-6)
+    # The chained mean is the sum of the operand means (convolution
+    # identity) — a drifting mass would break this first.
+    assert math.isclose(
+        chained.mean(), sum(p.mean() for p in pmfs), rel_tol=1e-9, abs_tol=1e-6
+    )
+
+
+@settings(deadline=None, max_examples=30)
+@given(chain_samples, bin_widths)
+def test_chain_matches_pairwise_reference(sample_sets, bin_width):
+    """The dense/FFT chain equals the exact pairwise path, fold for fold."""
+    pmfs = [DiscretePMF.from_samples(s, bin_width) for s in sample_sets]
+    fast = pmfs[0]
+    slow = DiscretePMF(pmfs[0].values, pmfs[0].probs)  # untagged twin
+    for pmf in pmfs[1:]:
+        fast = fast.convolve(pmf)
+        slow = slow.convolve(DiscretePMF(pmf.values, pmf.probs))
+    assert fast.support_size == slow.support_size
+    assert np.allclose(fast.values, slow.values, atol=1e-9)
+    assert np.allclose(fast.probs, slow.probs, atol=1e-9)

@@ -1,0 +1,198 @@
+"""Regression tests for the slotted :class:`EventQueue` (ISSUE 7).
+
+The queue replaced a plain ``heapq`` of ``(when, seq, daemon, event)``
+tuples.  Its ordering contract is *bit-for-bit* compatibility with that
+heap: pops come out in ascending ``(when, seq)``, with the sequence
+number assigned in push order — so events scheduled for the same instant
+dispatch strictly FIFO, exactly as before.  The tests here replay dense
+same-tick schedules against an inline tuple-heap reference to lock that
+contract down.
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro.sim.events import Event, SimulationError
+from repro.sim.kernel import EventQueue, Simulator, _time_key
+
+
+class _StubEvent:
+    """Minimal stand-in: the queue only touches ``_queue_slot``."""
+
+    __slots__ = ("label", "_queue_slot")
+
+    def __init__(self, label):
+        self.label = label
+        self._queue_slot = -1
+
+
+class _ReferenceQueue:
+    """The historic tuple heap the slotted queue must reproduce."""
+
+    def __init__(self):
+        self._heap = []
+        self._seq = 0
+
+    def push(self, when, event, daemon=False):
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, daemon, event))
+
+    def pop(self):
+        when, _seq, daemon, event = heapq.heappop(self._heap)
+        return when, event, daemon
+
+    def __len__(self):
+        return len(self._heap)
+
+
+def test_time_key_preserves_float_order():
+    instants = [
+        0.0, -0.0, 1e-12, 0.1, 0.1 + 1e-16, 1.0, 1.5, 2.0, 1e9, 1e300,
+        -1e-12, -1.0, -1e9, float("inf"), float("-inf"),
+    ]
+    for a in instants:
+        for b in instants:
+            assert (_time_key(a) < _time_key(b)) == (a < b), (a, b)
+            assert (_time_key(a) == _time_key(b)) == (a == b), (a, b)
+
+
+def test_fifo_on_identical_timestamps():
+    queue = EventQueue()
+    events = [_StubEvent(i) for i in range(100)]
+    for event in events:
+        queue.push(5.0, event)
+    popped = [queue.pop()[1].label for _ in range(len(events))]
+    assert popped == list(range(100))
+
+
+def test_dense_same_tick_schedule_matches_heapq_reference():
+    """Replay a dense schedule with many tied instants against heapq.
+
+    Timestamps are drawn from a tiny set so nearly every push ties with
+    earlier ones — the regime where only the FIFO sequence number decides
+    the order and any tie-break drift shows immediately.
+    """
+    rng = random.Random(0xC0FFEE)
+    queue = EventQueue()
+    reference = _ReferenceQueue()
+    ticks = [0.0, 1.0, 1.0, 2.5, 2.5, 2.5, 7.25]
+    counter = 0
+    for _round in range(2000):
+        action = rng.random()
+        if action < 0.6 or not len(queue):
+            when = rng.choice(ticks)
+            daemon = rng.random() < 0.3
+            event = _StubEvent(counter)
+            counter += 1
+            queue.push(when, event, daemon)
+            reference.push(when, event, daemon)
+        else:
+            assert queue.pop() == reference.pop()
+    while len(reference):
+        assert queue.pop() == reference.pop()
+    assert len(queue) == 0
+
+
+def test_randomized_program_with_demotion_matches_reference():
+    """Interleaved push/pop/demote runs, checked pop-for-pop.
+
+    The reference heap cannot demote in place (that is the point of the
+    slot table), so demotions are mirrored by rebuilding the reference's
+    tuples — the surviving order must still match exactly.
+    """
+    rng = random.Random(20260808)
+    queue = EventQueue()
+    reference = _ReferenceQueue()
+    live = []
+    counter = 0
+    for _round in range(3000):
+        action = rng.random()
+        if action < 0.55 or not len(queue):
+            when = rng.choice([0.0, 0.5, 0.5, 1.0, 3.0])
+            event = _StubEvent(counter)
+            counter += 1
+            queue.push(when, event)
+            reference.push(when, event)
+            live.append(event)
+        elif action < 0.75 and live:
+            victim = rng.choice(live)
+            flipped = queue.demote(victim)
+            if flipped:
+                reference._heap = [
+                    (w, s, True if e is victim else d, e)
+                    for (w, s, d, e) in reference._heap
+                ]
+                heapq.heapify(reference._heap)
+        else:
+            got = queue.pop()
+            expected = reference.pop()
+            assert got == expected
+            live = [e for e in live if e is not got[1]]
+    while len(reference):
+        assert queue.pop() == reference.pop()
+
+
+def test_demote_is_single_shot_and_slot_safe():
+    queue = EventQueue()
+    scheduled = _StubEvent("scheduled")
+    never = _StubEvent("never-scheduled")
+    queue.push(1.0, scheduled)
+    assert queue.demote(never) is False
+    assert queue.demote(scheduled) is True
+    assert queue.demote(scheduled) is False  # already daemon
+    when, event, daemon = queue.pop()
+    assert (when, event.label, daemon) == (1.0, "scheduled", True)
+    # After the pop the slot is recycled; a stale demote must not flip
+    # the slot's new occupant.
+    replacement = _StubEvent("replacement")
+    queue.push(2.0, replacement)
+    assert queue.demote(scheduled) is False
+    assert queue.pop() == (2.0, replacement, False)
+
+
+def test_pop_empty_raises():
+    with pytest.raises(SimulationError):
+        EventQueue().pop()
+
+
+def test_peek_when_tracks_heap_top():
+    queue = EventQueue()
+    assert queue.peek_when() == float("inf")
+    queue.push(3.0, _StubEvent("late"))
+    queue.push(1.0, _StubEvent("early"))
+    assert queue.peek_when() == 1.0
+    queue.pop()
+    assert queue.peek_when() == 3.0
+
+
+def test_simulator_same_instant_fifo_with_nested_scheduling():
+    """End-to-end: same-tick callbacks fire in scheduling order, even
+    when callbacks schedule more work *at the current instant*."""
+    sim = Simulator()
+    order = []
+
+    def nested():
+        order.append("nested")
+
+    def first():
+        order.append("first")
+        sim.call_in(0.0, nested)  # lands behind 'second' (later seq)
+
+    def second():
+        order.append("second")
+
+    sim.call_in(1.0, first)
+    sim.call_in(1.0, second)
+    sim.run()
+    assert order == ["first", "second", "nested"]
+
+
+def test_simulator_event_slot_reset_after_dispatch():
+    sim = Simulator()
+    event = sim.timeout(1.0)
+    assert isinstance(event, Event)
+    assert event._queue_slot >= 0
+    sim.run()
+    assert event._queue_slot == -1
