@@ -7,8 +7,6 @@ from DESIGN.md): it runs the corresponding experiment harness once under
 asserts the qualitative shape so a regression fails loudly.
 """
 
-import pytest
-
 
 def attach_rows(benchmark, headers, rows):
     """Store result rows on the benchmark record (shows up in JSON)."""

@@ -9,7 +9,7 @@ DESIGN.md interactively.
 Run:  python examples/policy_shootout.py
 """
 
-from repro.experiments.policy_comparison import POLICY_FACTORIES, run
+from repro.experiments.policy_comparison import run
 
 
 def main() -> None:

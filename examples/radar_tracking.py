@@ -13,7 +13,7 @@ Run:  python examples/radar_tracking.py
 """
 
 from repro import QoSSpec, Scenario, ScenarioConfig
-from repro.sim.random import Constant, Normal
+from repro.sim.random import Constant
 
 
 def main() -> None:

@@ -88,4 +88,6 @@ __all__ = [
     "Scenario",
     "ScenarioConfig",
     "ClientSummary",
+    "ClosedLoopClient",
+    "OpenLoopClient",
 ]

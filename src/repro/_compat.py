@@ -1,0 +1,26 @@
+"""Version-compatibility shims for the strictly typed packages.
+
+The repository supports Python 3.10+, so typing features that landed in
+3.11 are re-exported here with a fallback.  Import ``assert_never`` from
+this module, never from :mod:`typing` directly.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import NoReturn
+
+__all__ = ["assert_never"]
+
+if sys.version_info >= (3, 11):
+    from typing import assert_never
+else:
+
+    def assert_never(value: NoReturn) -> NoReturn:
+        """Exhaustiveness backstop for branches over closed types.
+
+        mypy narrows the argument to ``Never`` when every member of an
+        enum/Literal has been handled; reaching this at runtime means a
+        case was silently missed.
+        """
+        raise AssertionError(f"unhandled value: {value!r}")

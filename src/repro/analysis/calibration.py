@@ -67,7 +67,11 @@ def calibration_table(
         members = [
             (p, timely)
             for p, timely in pairs
-            if low <= p < high or (index == num_buckets - 1 and p == 1.0)
+            # The top bucket includes exactly-1.0 predictions (half-open
+            # bucketing would drop them); an exact sentinel, not a grid
+            # comparison.
+            if low <= p < high
+            or (index == num_buckets - 1 and p == 1.0)  # repro-lint: disable=RL003 (exact boundary sentinel)
         ]
         if not members:
             continue

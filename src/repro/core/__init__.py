@@ -32,9 +32,12 @@ from .qos import QoSSpec, QoSViolationCallback, TimingFailureStats
 from .repository import InformationRepository, ReplicaRecord, SlidingWindow
 from .selection import (
     DynamicSelectionPolicy,
+    GovernorMeta,
+    HealthView,
     ReplicaProbability,
     SelectionContext,
     SelectionDecision,
+    SelectionMeta,
     SelectionPolicy,
     SelectionResult,
     select_replicas,
@@ -58,6 +61,9 @@ __all__ = [
     "select_replicas",
     "SelectionResult",
     "ReplicaProbability",
+    "GovernorMeta",
+    "SelectionMeta",
+    "HealthView",
     "SelectionContext",
     "SelectionDecision",
     "SelectionPolicy",

@@ -12,7 +12,7 @@ harness can compare them head-to-head with the paper's dynamic policy.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 from .selection import SelectionContext, SelectionDecision, SelectionPolicy
 
@@ -32,7 +32,7 @@ __all__ = [
 def _ordered_by_probability(ctx: SelectionContext) -> List[str]:
     """Replicas sorted by decreasing F(t); unknowns rank last (prob −1)."""
 
-    def key(replica: str):
+    def key(replica: str) -> Tuple[float, str]:
         probability = ctx.estimator.probability_by(replica, ctx.qos.deadline_ms)
         return (-(probability if probability is not None else -1.0), replica)
 
@@ -77,7 +77,7 @@ class FixedRedundancyPolicy(SelectionPolicy):
 
     name = "fixed-k"
 
-    def __init__(self, redundancy: int):
+    def __init__(self, redundancy: int) -> None:
         if redundancy < 1:
             raise ValueError(f"redundancy must be >= 1, got {redundancy}")
         self.redundancy = int(redundancy)
@@ -93,7 +93,7 @@ class RandomPolicy(SelectionPolicy):
 
     name = "random"
 
-    def __init__(self, redundancy: int = 1):
+    def __init__(self, redundancy: int = 1) -> None:
         if redundancy < 1:
             raise ValueError(f"redundancy must be >= 1, got {redundancy}")
         self.redundancy = int(redundancy)
@@ -114,7 +114,7 @@ class RoundRobinPolicy(SelectionPolicy):
 
     name = "round-robin"
 
-    def __init__(self, redundancy: int = 1):
+    def __init__(self, redundancy: int = 1) -> None:
         if redundancy < 1:
             raise ValueError(f"redundancy must be >= 1, got {redundancy}")
         self.redundancy = int(redundancy)
@@ -142,7 +142,7 @@ class LowestMeanPolicy(SelectionPolicy):
 
     name = "lowest-mean"
 
-    def __init__(self, redundancy: int = 1):
+    def __init__(self, redundancy: int = 1) -> None:
         if redundancy < 1:
             raise ValueError(f"redundancy must be >= 1, got {redundancy}")
         self.redundancy = int(redundancy)
@@ -150,7 +150,7 @@ class LowestMeanPolicy(SelectionPolicy):
             self.name = f"lowest-mean-{self.redundancy}"
 
     def decide(self, ctx: SelectionContext) -> SelectionDecision:
-        def key(replica: str):
+        def key(replica: str) -> Tuple[float, str]:
             mean = ctx.estimator.expected_response_time(replica)
             return (mean if mean is not None else float("inf"), replica)
 
@@ -163,7 +163,7 @@ class NearestPolicy(SelectionPolicy):
 
     name = "nearest"
 
-    def __init__(self, redundancy: int = 1):
+    def __init__(self, redundancy: int = 1) -> None:
         if redundancy < 1:
             raise ValueError(f"redundancy must be >= 1, got {redundancy}")
         self.redundancy = int(redundancy)
@@ -193,7 +193,7 @@ class ProbeEstimatePolicy(SelectionPolicy):
 
     name = "probe-estimate"
 
-    def __init__(self, redundancy: int = 1):
+    def __init__(self, redundancy: int = 1) -> None:
         if redundancy < 1:
             raise ValueError(f"redundancy must be >= 1, got {redundancy}")
         self.redundancy = int(redundancy)
@@ -231,7 +231,7 @@ class StaticMinResponsePolicy(SelectionPolicy):
 
     name = "static-min-response"
 
-    def __init__(self, redundancy: int = 2):
+    def __init__(self, redundancy: int = 2) -> None:
         if redundancy < 1:
             raise ValueError(f"redundancy must be >= 1, got {redundancy}")
         self.redundancy = int(redundancy)

@@ -30,6 +30,7 @@ import math
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = [
     "BinWidthMismatchError",
@@ -101,7 +102,7 @@ class SampleCounts:
 
     __slots__ = ("bin_width", "_counts", "_total")
 
-    def __init__(self, bin_width: float, samples: Iterable[float] = ()):
+    def __init__(self, bin_width: float, samples: Iterable[float] = ()) -> None:
         if bin_width <= 0:
             raise ValueError(f"bin_width must be > 0, got {bin_width}")
         self.bin_width = float(bin_width)
@@ -128,7 +129,7 @@ class SampleCounts:
             self._counts[key] = count - 1
         self._total -= 1
 
-    def replace(self, new_sample: float, evicted: float = None) -> None:
+    def replace(self, new_sample: float, evicted: Optional[float] = None) -> None:
         """Push ``new_sample``, evicting ``evicted`` first when given."""
         if evicted is not None:
             self.evict(evicted)
@@ -176,7 +177,7 @@ class DiscretePMF:
         values: Sequence[float],
         probs: Sequence[float],
         bin_width: Optional[float] = None,
-    ):
+    ) -> None:
         if len(values) != len(probs):
             raise ValueError("values and probs must have equal length")
         if len(values) == 0:
@@ -239,14 +240,14 @@ class DiscretePMF:
         """Grid spacing this pmf is tagged with (``None`` when off-grid)."""
         return self._bin_width
     @property
-    def values(self) -> np.ndarray:
+    def values(self) -> npt.NDArray[np.float64]:
         """Atom locations, sorted ascending (read-only view)."""
         view = self._values.view()
         view.flags.writeable = False
         return view
 
     @property
-    def probs(self) -> np.ndarray:
+    def probs(self) -> npt.NDArray[np.float64]:
         """Atom probabilities aligned with :attr:`values` (read-only)."""
         view = self._probs.view()
         view.flags.writeable = False
@@ -262,7 +263,7 @@ class DiscretePMF:
         return list(zip(self._values.tolist(), self._probs.tolist()))
 
     # -- derived caches ------------------------------------------------------
-    def cumulative_probs(self) -> np.ndarray:
+    def cumulative_probs(self) -> npt.NDArray[np.float64]:
         """``P(X <= values[k])`` per atom, cached (read-only view)."""
         if self._cum is None:
             self._cum = np.cumsum(self._probs)
@@ -411,7 +412,7 @@ class DiscretePMF:
             width = self._bin_width
         return DiscretePMF(unique, probs, bin_width=width)
 
-    def _lattice_indices(self) -> Optional[np.ndarray]:
+    def _lattice_indices(self) -> Optional[npt.NDArray[np.int64]]:
         """Integer lattice offsets of the atoms, or ``None`` off-grid.
 
         Guards the dense path against a stale grid tag: every atom must
@@ -480,7 +481,9 @@ class DiscretePMF:
         )
 
 
-def _fft_convolve(a: np.ndarray, b: np.ndarray, out_len: int) -> np.ndarray:
+def _fft_convolve(
+    a: npt.NDArray[np.float64], b: npt.NDArray[np.float64], out_len: int
+) -> npt.NDArray[np.float64]:
     """Linear convolution of two dense prob vectors via a real FFT."""
     size = 1 << max(0, out_len - 1).bit_length()
     product = np.fft.rfft(a, size) * np.fft.rfft(b, size)
@@ -507,7 +510,15 @@ def batch_convolve(
     like the scalar method.
     """
     results: List[Optional[DiscretePMF]] = [None] * len(pairs)
-    rows: List[Tuple[int, DiscretePMF, DiscretePMF, np.ndarray, np.ndarray]] = []
+    rows: List[
+        Tuple[
+            int,
+            DiscretePMF,
+            DiscretePMF,
+            npt.NDArray[np.int64],
+            npt.NDArray[np.int64],
+        ]
+    ] = []
     for index, (a, b) in enumerate(pairs):
         if b._values.size == 1:
             results[index] = a.shift(float(b._values[0]))

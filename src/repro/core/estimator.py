@@ -70,7 +70,7 @@ class ResponseTimeEstimator:
         repository: InformationRepository,
         bin_width_ms: float = 1.0,
         incremental: bool = True,
-    ):
+    ) -> None:
         if bin_width_ms <= 0:
             raise ValueError(f"bin_width_ms must be > 0, got {bin_width_ms}")
         self.repository = repository

@@ -61,11 +61,13 @@ def min_replicas_needed(individual_probability: float, target: float) -> int:
         )
     if not 0.0 <= target <= 1.0:
         raise ValueError(f"target must be in [0, 1], got {target}")
-    if target == 0.0:
+    # Exact 0/1 boundary sentinels (values clamp to exactly these), not
+    # grid comparisons — the log() below diverges only at exactly 1.0.
+    if target == 0.0:  # repro-lint: disable=RL003 (exact boundary sentinel)
         return 1
-    if individual_probability == 0.0:
+    if individual_probability == 0.0:  # repro-lint: disable=RL003 (exact boundary sentinel)
         return 10**9
-    if individual_probability == 1.0:
+    if individual_probability == 1.0:  # repro-lint: disable=RL003 (exact boundary sentinel)
         return 1
     # k >= log(1 - target) / log(1 - p)
     k = math.log(1.0 - target) / math.log(1.0 - individual_probability) if target < 1.0 else math.inf

@@ -58,7 +58,7 @@ class AdaptiveQoSController:
         max_deadline_ms: Optional[float] = None,
         tighten_factor: float = 0.8,
         min_deadline_ms: Optional[float] = None,
-    ):
+    ) -> None:
         if relax_factor <= 1.0:
             raise ValueError(f"relax_factor must be > 1, got {relax_factor}")
         if not 0.0 < tighten_factor < 1.0:

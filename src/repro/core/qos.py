@@ -85,7 +85,7 @@ class TimingFailureStats:
     many responses have been seen.
     """
 
-    def __init__(self, min_samples: int = 10):
+    def __init__(self, min_samples: int = 10) -> None:
         if min_samples < 1:
             raise ValueError(f"min_samples must be >= 1, got {min_samples}")
         self.min_samples = int(min_samples)

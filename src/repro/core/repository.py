@@ -17,7 +17,7 @@ information service.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
 from .distribution import DiscretePMF, SampleCounts
 
@@ -35,7 +35,7 @@ class SlidingWindow:
     signal estimators key on; see docs/ARCHITECTURE.md.
     """
 
-    def __init__(self, size: int):
+    def __init__(self, size: int) -> None:
         if size < 1:
             raise ValueError(f"window size must be >= 1, got {size}")
         self.size = int(size)
@@ -124,8 +124,8 @@ class ReplicaRecord:
         name: str,
         window_size: int,
         gateway_window_size: Optional[int] = None,
-        on_mutate: Optional[callable] = None,
-    ):
+        on_mutate: Optional[Callable[[], None]] = None,
+    ) -> None:
         self.name = name
         self.service_times = SlidingWindow(window_size)
         self.queue_delays = SlidingWindow(window_size)
@@ -235,7 +235,7 @@ class InformationRepository:
         self,
         window_size: int = 5,
         gateway_window_size: Optional[int] = None,
-    ):
+    ) -> None:
         if window_size < 1:
             raise ValueError(f"window_size must be >= 1, got {window_size}")
         if gateway_window_size is not None and gateway_window_size < 1:

@@ -20,9 +20,19 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    TypedDict,
+)
 
 import numpy as np
+import numpy.typing as npt
 
 from .estimator import ResponseTimeEstimator
 from .qos import QoSSpec
@@ -32,11 +42,90 @@ __all__ = [
     "SelectionResult",
     "select_replicas",
     "select_replicas_arrays",
+    "GovernorMeta",
+    "SelectionMeta",
+    "HealthView",
     "SelectionContext",
     "SelectionDecision",
     "SelectionPolicy",
     "DynamicSelectionPolicy",
 ]
+
+
+class HealthView(Protocol):
+    """What selection needs from a health monitor (structural).
+
+    :class:`repro.health.HealthMonitor` satisfies this; tests substitute
+    trivial stubs.  Policies that honor a health view exclude quarantined
+    replicas and scale ``F_{R_i}(t)`` by the trust discount.
+    """
+
+    def is_quarantined(self, name: str) -> bool:
+        """Whether ``name`` must receive no client traffic at all."""
+        ...
+
+    def discount(self, name: str) -> float:
+        """Trust multiplier in ``[0, 1]`` applied to ``F_{R_i}(t)``."""
+        ...
+
+
+class GovernorMeta(TypedDict):
+    """The redundancy governor's annotation on a decision it touched."""
+
+    load: float
+    cap: int
+    available: int
+    engaged: bool
+
+
+class SelectionMeta(TypedDict, total=False):
+    """Diagnostics a policy attaches to its decision.
+
+    At runtime this is a plain ``dict`` — policies keep building it with
+    dict literals — but the closed key set lets the type checker reject
+    typos at both the producer (``meta["botstrap"] = True``) and the
+    consumer (``decision.meta.get("probabilties")``).  Every key is
+    optional; absence means "not applicable to this decision".
+    """
+
+    #: Select-all first contact: no performance history yet (§5.4.1).
+    bootstrap: bool
+    #: Algorithm 1's Line 15 — no subset covered Pc, full set returned.
+    fallback: bool
+    #: The governor's cap trimmed the set below Algorithm 1's choice.
+    capped: bool
+    #: P_X(t) of the set excluding the protected best members.
+    crash_safe_probability: float
+    #: P_K(t) of the whole selected set.
+    full_probability: float
+    #: Deadline after §5.3.3 overhead compensation (t − δ).
+    effective_deadline_ms: float
+    #: Measured δ of this very decision, milliseconds.
+    overhead_ms: float
+    #: Per-replica F_{R_i}(t − δ) the decision was computed from.
+    probabilities: Dict[str, float]
+    #: Degradation-ladder rung taken (e.g. ``"stale-model"``).
+    degraded: str
+    #: The ladder threshold that triggered the stale delegation.
+    stale_after_ms: float
+    #: Replicas excluded from consideration by the health view.
+    quarantined: Tuple[str, ...]
+    #: Every replica was quarantined; traffic sent anyway (best effort).
+    quarantine_override: bool
+    #: Full preference order (retransmission handlers walk it).
+    ranking: List[str]
+    #: Primary replica of the passive-replication handler.
+    primary: str
+    #: Name of the (fallback) policy that produced the decision.
+    policy: str
+    #: QoS class the handler resolved for this request.
+    request_class: str
+    #: Load index at the moment the admission controller shed.
+    shed_load: float
+    #: Cap ladder details when a governor wrapped the decision.
+    governor: GovernorMeta
+    #: The membership view was empty; nothing could be selected.
+    no_replicas: bool
 
 
 @dataclass(frozen=True)
@@ -139,8 +228,8 @@ def select_replicas(
 
 
 def select_replicas_arrays(
-    names: np.ndarray,
-    probabilities: np.ndarray,
+    names: npt.NDArray[np.str_],
+    probabilities: npt.NDArray[np.float64],
     min_probability: float,
     crash_tolerance: int = 1,
     max_size: Optional[int] = None,
@@ -262,10 +351,10 @@ class SelectionContext:
     distance:
         Optional static distance metric (for nearest-replica baselines).
     health:
-        Optional health view (duck-typed like
-        :class:`repro.health.HealthMonitor`: ``is_quarantined(name)`` and
-        ``discount(name)``).  Policies that honor it exclude quarantined
-        replicas and scale ``F_{R_i}(t)`` by the trust discount.
+        Optional health view (any :class:`HealthView`, e.g.
+        :class:`repro.health.HealthMonitor`).  Policies that honor it
+        exclude quarantined replicas and scale ``F_{R_i}(t)`` by the
+        trust discount.
     max_redundancy:
         Optional redundancy cap set by the overload governor
         (:class:`repro.overload.GovernedSelectionPolicy`).  Policies that
@@ -280,7 +369,7 @@ class SelectionContext:
     now_ms: float
     rng: np.random.Generator
     distance: Optional[Callable[[str], float]] = None
-    health: Optional[object] = None
+    health: Optional[HealthView] = None
     max_redundancy: Optional[int] = None
 
 
@@ -289,8 +378,9 @@ class SelectionDecision:
     """A policy's verdict for one request."""
 
     selected: Tuple[str, ...]
-    # Free-form diagnostics: probabilities, fallback flags, overhead, ...
-    meta: Dict[str, object] = field(default_factory=dict)
+    # Diagnostics: probabilities, fallback flags, overhead, ... — see
+    # the SelectionMeta catalog for the closed key set.
+    meta: SelectionMeta = field(default_factory=lambda: SelectionMeta())
 
     @property
     def redundancy(self) -> int:
@@ -347,7 +437,7 @@ class DynamicSelectionPolicy(SelectionPolicy):
         fixed_overhead_ms: Optional[float] = None,
         stale_after_ms: Optional[float] = None,
         stale_fallback: Optional[SelectionPolicy] = None,
-    ):
+    ) -> None:
         if fixed_overhead_ms is not None and fixed_overhead_ms < 0:
             raise ValueError(
                 f"fixed_overhead_ms must be >= 0, got {fixed_overhead_ms}"
@@ -393,7 +483,7 @@ class DynamicSelectionPolicy(SelectionPolicy):
                 else:
                     quarantine_override = True
 
-        def annotate(meta: Dict[str, object]) -> Dict[str, object]:
+        def annotate(meta: SelectionMeta) -> SelectionMeta:
             if quarantined:
                 meta["quarantined"] = quarantined
                 meta["quarantine_override"] = quarantine_override
@@ -457,15 +547,13 @@ class DynamicSelectionPolicy(SelectionPolicy):
                 self.last_overhead_ms = (
                     time.perf_counter() - started
                 ) * 1000.0
-                meta = dict(delegated.meta)
-                meta.update(
-                    {
-                        "degraded": "stale-model",
-                        "stale_after_ms": self.stale_after_ms,
-                        "bootstrap": False,
-                        "fallback": False,
-                    }
-                )
+                meta: SelectionMeta = {
+                    **delegated.meta,
+                    "degraded": "stale-model",
+                    "stale_after_ms": self.stale_after_ms,
+                    "bootstrap": False,
+                    "fallback": False,
+                }
                 return SelectionDecision(
                     selected=delegated.selected, meta=annotate(meta)
                 )

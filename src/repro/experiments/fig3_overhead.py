@@ -24,6 +24,7 @@ import numpy as np
 from ..core.estimator import ResponseTimeEstimator
 from ..core.repository import InformationRepository
 from ..core.selection import select_replicas_arrays
+from ..rng import seeded_generator
 from .harness import print_table
 
 __all__ = [
@@ -60,7 +61,7 @@ def build_loaded_repository(
     num_replicas: int, window_size: int, seed: int = 0
 ) -> InformationRepository:
     """A repository with full windows of realistic measurements."""
-    rng = np.random.default_rng(seed)
+    rng = seeded_generator(seed)
     repository = InformationRepository(window_size=window_size)
     for index in range(num_replicas):
         name = f"replica-{index + 1}"

@@ -24,8 +24,10 @@ invariants that must hold no matter what faults were injected:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List
 
+from .._compat import assert_never
+from ..gateway.handlers.timing_fault import OutcomeKind, ReplyOutcome
 from ..orb.object import MethodRequest
 from ..sim.events import Event
 
@@ -49,7 +51,7 @@ class SubmissionRecord:
     method: str
     submitted_at_ms: float
     event: Event
-    outcomes: List = field(default_factory=list)
+    outcomes: List[ReplyOutcome] = field(default_factory=list)
     failures: List[BaseException] = field(default_factory=list)
 
 
@@ -89,13 +91,13 @@ class AuditReport:
 class LifecycleAuditor:
     """Tracks submissions and audits handler state at drain time."""
 
-    def __init__(self):
-        self._clients: List = []
-        self._servers: List = []
+    def __init__(self) -> None:
+        self._clients: List[Any] = []
+        self._servers: List[Any] = []
         self.records: List[SubmissionRecord] = []
 
     # -- wiring --------------------------------------------------------------
-    def watch_client(self, handler) -> None:
+    def watch_client(self, handler: Any) -> None:
         """Track every request submitted through ``handler``.
 
         The handler's ``submit`` is wrapped in place, so the auditor must
@@ -127,7 +129,7 @@ class LifecycleAuditor:
 
         handler.submit = audited_submit
 
-    def watch_server(self, handler) -> None:
+    def watch_server(self, handler: Any) -> None:
         """Register a server handler for drain-time state checks."""
         if any(existing is handler for existing in self._servers):
             return
@@ -160,7 +162,13 @@ class LifecycleAuditor:
                 )
                 continue
             outcome = record.outcomes[0]
-            if getattr(outcome, "shed", False):
+            # Branch on the closed OutcomeKind enum; the assert_never arm
+            # makes the checker prove a new outcome kind cannot slip past
+            # the audit unhandled.  The cross-flag checks below still read
+            # the raw booleans: `kind` prioritizes SHED, so a corrupt
+            # shed-AND-timeout outcome only shows up there.
+            kind = outcome.kind
+            if kind is OutcomeKind.SHED:
                 sheds += 1
                 if outcome.timed_out:
                     violations.append(
@@ -171,20 +179,22 @@ class LifecycleAuditor:
                         f"{label}: shed yet names replica "
                         f"{outcome.replica!r} (shed AND reply)"
                     )
-            elif outcome.timed_out:
+            elif kind is OutcomeKind.TIMEOUT:
                 timeouts += 1
                 if outcome.replica is not None:
                     violations.append(
                         f"{label}: timed out yet names replica "
                         f"{outcome.replica!r} (reply AND timeout)"
                     )
-            else:
+            elif kind is OutcomeKind.REPLY:
                 replies += 1
                 if outcome.replica is None:
                     violations.append(
                         f"{label}: replied without a replica "
                         "(neither reply nor timeout)"
                     )
+            else:
+                assert_never(kind)
         for handler in self._clients:
             violations.extend(self._handler_leaks("client", handler))
         for handler in self._servers:
@@ -198,8 +208,8 @@ class LifecycleAuditor:
         )
 
     @staticmethod
-    def _handler_leaks(role: str, handler) -> List[str]:
-        leaks: Dict[str, List] = handler.lifecycle_leaks()
+    def _handler_leaks(role: str, handler: Any) -> List[str]:
+        leaks: Dict[str, List[Any]] = handler.lifecycle_leaks()
         return [
             f"{role} {handler.host!r}: leaked {name} = {entries}"
             for name, entries in sorted(leaks.items())

@@ -19,7 +19,9 @@ that was concurrently evicted by the failure detector is simply skipped.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
+
+import numpy as np
 
 from ..gateway.handlers.timing_fault import TimingFaultServerHandler
 from ..group.ensemble import GroupCommunication
@@ -43,16 +45,19 @@ class _SlowedProfile:
     coupling and per-method distributions keep working while degraded.
     """
 
-    def __init__(self, inner, slow_factor: float):
+    def __init__(self, inner: Any, slow_factor: float) -> None:
         self._inner = inner
         self._slow_factor = float(slow_factor)
 
-    def sample_duration(self, method: str, now_ms: float, rng) -> float:
-        return self._slow_factor * self._inner.sample_duration(
-            method, now_ms, rng
+    def sample_duration(
+        self, method: str, now_ms: float, rng: np.random.Generator
+    ) -> float:
+        return float(
+            self._slow_factor
+            * self._inner.sample_duration(method, now_ms, rng)
         )
 
-    def __getattr__(self, name):
+    def __getattr__(self, name: str) -> Any:
         return getattr(self._inner, name)
 
 
@@ -77,7 +82,7 @@ class LifecycleFaultDriver:
         service: str,
         servers: Dict[str, TimingFaultServerHandler],
         tracer: Optional[Tracer] = None,
-    ):
+    ) -> None:
         self.sim = sim
         self.lan = lan
         self.group_comm = group_comm

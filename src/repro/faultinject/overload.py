@@ -15,7 +15,7 @@ loop the overload subsystem exists to break.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from ..sim.events import Event
 from ..sim.kernel import Simulator
@@ -38,7 +38,7 @@ class OverloadDriver:
         submitters: Dict[str, Submitter],
         first_arg: int = 900_000,
         tracer: Optional[Tracer] = None,
-    ):
+    ) -> None:
         if not submitters:
             raise ValueError("OverloadDriver needs at least one submitter")
         self.sim = sim
@@ -76,7 +76,9 @@ class OverloadDriver:
                 self._surge(fault, client), name=f"overload.{client}"
             )
 
-    def _surge(self, fault: OverloadFault, client: str):
+    def _surge(
+        self, fault: OverloadFault, client: str
+    ) -> Generator[Event, Any, None]:
         submit = self.submitters[client]
         while self.sim.now < fault.end_ms:
             self.events.append(submit(self._next_arg))

@@ -22,7 +22,7 @@ ones.  :func:`random_fault_schedule` draws a randomized schedule from a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -193,7 +193,9 @@ class DegradationFault:
                 "omission_probability must be in [0, 1], got "
                 f"{self.omission_probability}"
             )
-        if self.slow_factor == 1.0 and self.omission_probability == 0.0:
+        # Default-detection on user-set config values, never on computed
+        # floats — exact equality is the point.
+        if self.slow_factor == 1.0 and self.omission_probability == 0.0:  # repro-lint: disable=RL003 (config default detection)
             raise ValueError(
                 "degradation must slow the host or drop its messages"
             )

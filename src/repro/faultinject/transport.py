@@ -25,8 +25,8 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..net.message import Message
-from ..net.transport import Transport
-from ..rng import RNGManager
+from ..net.transport import Receiver, Transport
+from ..rng import RNGManager, seeded_generator
 from ..sim.trace import NullTracer, Tracer
 from .schedule import FaultSchedule
 
@@ -63,7 +63,7 @@ class FaultyTransport:
         rng: Optional[np.random.Generator] = None,
         tracer: Optional[Tracer] = None,
         streams: Optional["RNGManager"] = None,
-    ):
+    ) -> None:
         if rng is not None and streams is not None:
             raise ValueError("pass either rng or streams, not both")
         self.inner = inner
@@ -73,7 +73,7 @@ class FaultyTransport:
         if streams is not None:
             self.rng = streams.stream(self.STREAM_NAME)
         else:
-            self.rng = rng if rng is not None else np.random.default_rng(0)
+            self.rng = rng if rng is not None else seeded_generator(0)
         self.tracer = tracer if tracer is not None else NullTracer()
         self.injected_drops = 0
         self.injected_delays = 0
@@ -81,7 +81,7 @@ class FaultyTransport:
         self.injected_degradation_drops = 0
 
     # -- wiring (delegated) ----------------------------------------------------
-    def bind(self, host_name: str, receiver) -> None:
+    def bind(self, host_name: str, receiver: Receiver) -> None:
         self.inner.bind(host_name, receiver)
 
     def unbind(self, host_name: str) -> None:

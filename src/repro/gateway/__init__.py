@@ -3,6 +3,7 @@
 from .gateway import Gateway, GatewayError, ProtocolHandler
 from .handlers import (
     ActiveReplicationClientHandler,
+    OutcomeKind,
     PassiveReplicationClientHandler,
     PerformanceUpdate,
     PrimaryBackupPolicy,
@@ -20,6 +21,7 @@ __all__ = [
     "ActiveReplicationClientHandler",
     "PassiveReplicationClientHandler",
     "PrimaryBackupPolicy",
+    "OutcomeKind",
     "PerformanceUpdate",
     "ReplyOutcome",
 ]

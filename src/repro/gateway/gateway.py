@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..net.message import Message
-from ..net.transport import Transport
+from ..net.transport import TransportAPI
 from ..sim.kernel import Simulator
 from ..sim.trace import NullTracer, Tracer
 
@@ -53,9 +53,9 @@ class Gateway:
         self,
         host: str,
         sim: Simulator,
-        transport: Transport,
+        transport: TransportAPI,
         tracer: Optional[Tracer] = None,
-    ):
+    ) -> None:
         self.host = host
         self.sim = sim
         self.transport = transport

@@ -11,6 +11,7 @@ from .timing_fault import (
     MSG_REPLY,
     MSG_REQUEST,
     MSG_SUBSCRIBE,
+    OutcomeKind,
     PerformanceUpdate,
     ReplyOutcome,
     RequestClassifier,
@@ -27,6 +28,7 @@ __all__ = [
     "PrimaryBackupPolicy",
     "RetransmittingClientHandler",
     "BestSinglePolicy",
+    "OutcomeKind",
     "PerformanceUpdate",
     "ReplyOutcome",
     "RequestClassifier",

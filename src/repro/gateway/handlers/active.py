@@ -10,6 +10,8 @@ infrastructure.
 
 from __future__ import annotations
 
+from typing import Any
+
 from ...core.baselines import AllReplicasPolicy
 from .timing_fault import TimingFaultClientHandler
 
@@ -19,7 +21,7 @@ __all__ = ["ActiveReplicationClientHandler"]
 class ActiveReplicationClientHandler(TimingFaultClientHandler):
     """Client handler that broadcasts each request to the full view."""
 
-    def __init__(self, *args, **kwargs):
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         if "policy" in kwargs and kwargs["policy"] is not None:
             raise ValueError(
                 "ActiveReplicationClientHandler fixes its policy; "

@@ -14,7 +14,7 @@ membership layer installs a new view.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from ...core.selection import SelectionContext, SelectionDecision, SelectionPolicy
 from .timing_fault import TimingFaultClientHandler
@@ -42,7 +42,7 @@ class PrimaryBackupPolicy(SelectionPolicy):
 class PassiveReplicationClientHandler(TimingFaultClientHandler):
     """Client handler using primary/backup routing."""
 
-    def __init__(self, *args, **kwargs):
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         if "policy" in kwargs and kwargs["policy"] is not None:
             raise ValueError(
                 "PassiveReplicationClientHandler fixes its policy; "

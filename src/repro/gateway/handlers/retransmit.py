@@ -17,10 +17,17 @@ avoids.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
-from ...core.selection import SelectionContext, SelectionDecision, SelectionPolicy
+from ...core.selection import (
+    SelectionContext,
+    SelectionDecision,
+    SelectionMeta,
+    SelectionPolicy,
+)
 from ...net.message import Message
+from ...orb.iiop import MarshalledCall
+from ...orb.object import MethodRequest
 from ...sim.events import Event
 from .timing_fault import MSG_REQUEST, TimingFaultClientHandler
 
@@ -33,14 +40,14 @@ class BestSinglePolicy(SelectionPolicy):
     name = "best-single"
 
     def decide(self, ctx: SelectionContext) -> SelectionDecision:
-        def key(replica: str):
+        def key(replica: str) -> Tuple[float, str]:
             probability = ctx.estimator.probability_by(
                 replica, ctx.qos.deadline_ms
             )
             return (-(probability if probability is not None else -1.0), replica)
 
         replicas = list(ctx.replicas)
-        meta: Dict[str, object] = {}
+        meta: SelectionMeta = {}
         if ctx.health is not None:
             usable = [r for r in replicas if not ctx.health.is_quarantined(r)]
             if usable:
@@ -77,13 +84,13 @@ class RetransmittingClientHandler(TimingFaultClientHandler):
 
     def __init__(
         self,
-        *args,
+        *args: Any,
         retry_timeout_ms: Optional[float] = None,
         max_retries: int = 2,
         retry_backoff_factor: float = 2.0,
         retry_timeout_cap_ms: Optional[float] = None,
-        **kwargs,
-    ):
+        **kwargs: Any,
+    ) -> None:
         if "policy" in kwargs and kwargs["policy"] is not None:
             raise ValueError(
                 "RetransmittingClientHandler fixes its policy; do not pass one"
@@ -137,7 +144,13 @@ class RetransmittingClientHandler(TimingFaultClientHandler):
         return min(base * self.retry_backoff_factor ** (attempt - 1), cap)
 
     # -- request path ----------------------------------------------------------
-    def _dispatch(self, request, call, t0: float, outcome_event: Event) -> int:
+    def _dispatch(
+        self,
+        request: MethodRequest,
+        call: MarshalledCall,
+        t0: float,
+        outcome_event: Event,
+    ) -> int:
         msg_id = super()._dispatch(request, call, t0, outcome_event)
         # Arm the retry chain on the request just created (the id is
         # threaded through; inferring it from the _pending keys is racy).
@@ -152,7 +165,7 @@ class RetransmittingClientHandler(TimingFaultClientHandler):
     def _arm_retry(
         self,
         msg_id: int,
-        call,
+        call: MarshalledCall,
         ranking: List[str],
         tried: List[str],
         attempt: int,
@@ -167,7 +180,7 @@ class RetransmittingClientHandler(TimingFaultClientHandler):
     def _maybe_retransmit(
         self,
         msg_id: int,
-        call,
+        call: MarshalledCall,
         ranking: List[str],
         tried: List[str],
         attempt: int,
@@ -277,7 +290,7 @@ class RetransmittingClientHandler(TimingFaultClientHandler):
         for copy_id in self._copies.pop(msg_id, ()):
             self._aliases.pop(copy_id, None)
 
-    def lifecycle_leaks(self) -> Dict[str, List]:
+    def lifecycle_leaks(self) -> Dict[str, List[Any]]:
         leaks = super().lifecycle_leaks()
         if self._aliases:
             leaks["aliases"] = sorted(self._aliases)

@@ -34,7 +34,18 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+from enum import Enum
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
@@ -45,23 +56,26 @@ from ...core.selection import (
     DynamicSelectionPolicy,
     SelectionContext,
     SelectionDecision,
+    SelectionMeta,
     SelectionPolicy,
 )
 from ...group.ensemble import GroupCommunication
 from ...group.membership import GroupView, MembershipError
-from ...health import HealthConfig, HealthMonitor
+from ...health import HealthConfig, HealthListener, HealthMonitor
 from ...metrics.collector import MetricsCollector
 from ...net.message import Message
+from ...net.transport import TransportAPI
 from ...overload import (
     AdmissionController,
     GovernedSelectionPolicy,
     LoadTracker,
     OverloadConfig,
 )
-from ...orb.iiop import MarshalledReply, MarshallingModel
+from ...orb.iiop import MarshalledCall, MarshalledReply, MarshallingModel
 from ...orb.object import MethodRequest, ServiceInterface
 from ...orb.orb import RequestInterceptor
 from ...replica.server import ReplicaApplication
+from ...rng import seeded_generator
 from ...sim.events import Event
 from ...sim.kernel import Simulator
 from ...sim.trace import NullTracer, Tracer
@@ -75,6 +89,7 @@ __all__ = [
     "MSG_PROBE",
     "MSG_PROBE_REPLY",
     "DEFAULT_CLASS",
+    "OutcomeKind",
     "PerformanceUpdate",
     "ReplyOutcome",
     "RequestClassifier",
@@ -120,6 +135,22 @@ class PerformanceUpdate:
     request: Optional[MethodRequest] = None
 
 
+class OutcomeKind(Enum):
+    """The three mutually exclusive completion outcomes of a request.
+
+    Every request ends exactly one way — a reply XOR a timeout XOR a
+    shed (the exactly-once invariant the
+    :class:`~repro.faultinject.auditor.LifecycleAuditor` audits).
+    Consumers should branch on :attr:`ReplyOutcome.kind` and close the
+    chain with ``assert_never`` so the type checker proves every outcome
+    — in particular ``SHED`` — is handled.
+    """
+
+    REPLY = "reply"
+    TIMEOUT = "timeout"
+    SHED = "shed"
+
+
 @dataclass(frozen=True)
 class ReplyOutcome:
     """What the client's invocation event fires with.
@@ -130,7 +161,9 @@ class ReplyOutcome:
     admission controller fail-fast rejected before any copy hit the
     wire — the third, mutually exclusive completion outcome (reply XOR
     timeout XOR shed); sheds are *not* timing failures and stay out of
-    :class:`~repro.core.qos.TimingFailureStats`.
+    :class:`~repro.core.qos.TimingFailureStats`.  :attr:`kind` folds the
+    two flags into the closed :class:`OutcomeKind` enum; new code should
+    branch on it exhaustively rather than on the booleans.
     """
 
     value: Any
@@ -140,8 +173,19 @@ class ReplyOutcome:
     replica: Optional[str]
     redundancy: int
     request_id: int
-    decision_meta: Dict[str, object] = field(default_factory=dict)
+    decision_meta: SelectionMeta = field(
+        default_factory=lambda: SelectionMeta()
+    )
     shed: bool = False
+
+    @property
+    def kind(self) -> OutcomeKind:
+        """The completion outcome as a checker-enforceable enum."""
+        if self.shed:
+            return OutcomeKind.SHED
+        if self.timed_out:
+            return OutcomeKind.TIMEOUT
+        return OutcomeKind.REPLY
 
 
 # ---------------------------------------------------------------------------
@@ -164,11 +208,11 @@ class TimingFaultServerHandler(ProtocolHandler):
         self,
         sim: Simulator,
         app: ReplicaApplication,
-        transport,
+        transport: TransportAPI,
         marshalling: Optional[MarshallingModel] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsCollector] = None,
-    ):
+    ) -> None:
         self.sim = sim
         self.app = app
         self.transport = transport
@@ -178,7 +222,7 @@ class TimingFaultServerHandler(ProtocolHandler):
         self.service = app.service
         self.host = app.host
         self._queue: Deque[Tuple[Message, float]] = deque()
-        self._subscribers: set = set()
+        self._subscribers: Set[str] = set()
         self._wakeup: Optional[Event] = None
         self._busy = False
         self.crashed = False
@@ -235,7 +279,7 @@ class TimingFaultServerHandler(ProtocolHandler):
         )
 
     # -- the FIFO service loop ---------------------------------------------------
-    def _run(self):
+    def _run(self) -> Generator[Event, Any, None]:
         while True:
             while not self._queue:
                 self._wakeup = self.sim.event()
@@ -346,9 +390,9 @@ class TimingFaultServerHandler(ProtocolHandler):
         self._process = self.sim.spawn(self._run(), name=f"server.{self.host}")
 
     # -- lifecycle invariants ------------------------------------------------
-    def lifecycle_leaks(self) -> Dict[str, List]:
+    def lifecycle_leaks(self) -> Dict[str, List[Any]]:
         """Server state that must be empty/idle once traffic has drained."""
-        leaks: Dict[str, List] = {}
+        leaks: Dict[str, List[Any]] = {}
         if self.crashed:
             return leaks  # a crashed incarnation holds no live obligations
         if self._queue:
@@ -388,12 +432,12 @@ class _PendingRequest:
     decision: SelectionDecision
     completed: bool = False
     expired: bool = False
-    expected: set = field(default_factory=set)
-    replied: set = field(default_factory=set)
+    expected: Set[str] = field(default_factory=set)
+    replied: Set[str] = field(default_factory=set)
     # Replicas already charged an omission fault for this request (health
     # accounting) — a retry timeout and the final response timeout must
     # not both bill the same silence.
-    faulted: set = field(default_factory=set)
+    faulted: Set[str] = field(default_factory=set)
 
 
 class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
@@ -474,7 +518,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         self,
         sim: Simulator,
         host: str,
-        transport,
+        transport: TransportAPI,
         group_comm: GroupCommunication,
         interface: ServiceInterface,
         qos: QoSSpec,
@@ -496,12 +540,12 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
             Callable[[InformationRepository], ResponseTimeEstimator]
         ] = None,
         health_config: Optional[HealthConfig] = None,
-        health_listener=None,
+        health_listener: Optional[HealthListener] = None,
         adaptive_timeout_quantile: Optional[float] = None,
         overload_config: Optional[OverloadConfig] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsCollector] = None,
-    ):
+    ) -> None:
         if qos.service != interface.name:
             raise ValueError(
                 f"QoS names service {qos.service!r} but the interface is "
@@ -546,7 +590,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         self.violation_callback = violation_callback
         self.tracer = tracer if tracer is not None else NullTracer()
         self.metrics = metrics or MetricsCollector(keep_samples=False)
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng if rng is not None else seeded_generator(0)
         self.distance = distance
         self.classifier = classifier
         self.window_size = int(window_size)
@@ -591,7 +635,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         # Health subsystem (docs/ARCHITECTURE.md §5): state machine fed by
         # the evidence this handler already collects.
         self.health: Optional[HealthMonitor] = None
-        self._crash_unsubscribe = None
+        self._crash_unsubscribe: Optional[Callable[[], None]] = None
         # (msg_id, offending replicas) pairs — requests dispatched to a
         # quarantined replica.  Must stay empty; surfaced as a lifecycle
         # leak so the fault-injection auditor enforces the invariant.
@@ -735,7 +779,13 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         )
         return outcome_event
 
-    def _dispatch(self, request, call, t0: float, outcome_event: Event) -> int:
+    def _dispatch(
+        self,
+        request: MethodRequest,
+        call: MarshalledCall,
+        t0: float,
+        outcome_event: Event,
+    ) -> int:
         """Select, transmit and register one request; returns its msg_id.
 
         Returns ``-1`` when the admission controller shed the request
@@ -835,7 +885,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         if self.adaptive_timeout_quantile is None or not selected:
             return ceiling
         estimator = self._estimator_for(class_key)
-        quantiles = []
+        quantiles: List[float] = []
         for replica in selected:
             try:
                 pmf = estimator.response_time_pmf(replica)
@@ -909,8 +959,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         self.metrics.increment(
             "tf.sheds", labels={"client": self.host, "service": self.service}
         )
-        meta = dict(decision.meta)
-        meta["shed_load"] = load
+        meta: SelectionMeta = {**decision.meta, "shed_load": load}
         outcome = ReplyOutcome(
             value=None,
             response_time_ms=self.sim.now - t0,
@@ -985,7 +1034,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
             replica=replica,
             redundancy=pending.decision.redundancy,
             request_id=message.correlation_id,
-            decision_meta=dict(pending.decision.meta),
+            decision_meta=pending.decision.meta.copy(),
         )
         self.tracer.emit(
             self.sim.now, f"client.{self.host}", "client.reply",
@@ -1050,7 +1099,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
             replica=None,
             redundancy=pending.decision.redundancy,
             request_id=msg_id,
-            decision_meta=dict(pending.decision.meta),
+            decision_meta=pending.decision.meta.copy(),
         )
         self.tracer.emit(
             self.sim.now, f"client.{self.host}", "client.timeout", msg_id=msg_id
@@ -1059,7 +1108,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
 
     # -- probing (§8 extension + health re-admission) ----------------------------
     def _probe_tick(self) -> None:
-        due = set()
+        due: Set[str] = set()
         if self.probe_staleness_ms is not None:
             for repo in self._repositories.values():
                 for name in repo.replicas():
@@ -1202,7 +1251,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
             self._violation_reported = False
 
     # -- lifecycle invariants ------------------------------------------------
-    def lifecycle_leaks(self) -> Dict[str, List]:
+    def lifecycle_leaks(self) -> Dict[str, List[Any]]:
         """State that must be empty once the system has fully drained.
 
         Keys map invariant names to the offending entries; an empty dict
@@ -1210,7 +1259,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         fault-injection auditor (:mod:`repro.faultinject.auditor`) calls
         this at drain time.
         """
-        leaks: Dict[str, List] = {}
+        leaks: Dict[str, List[Any]] = {}
         if self._pending:
             leaks["pending"] = sorted(self._pending)
         if self._probes_in_flight:

@@ -18,7 +18,7 @@ from ..net.transport import Transport
 from ..sim.kernel import Simulator
 from ..sim.trace import NullTracer, Tracer
 from .failure_detector import FailureDetector
-from .membership import Group, GroupView, MembershipService
+from .membership import GroupView, MembershipService
 from .multicast import MulticastGroup
 
 __all__ = ["GroupCommunication"]
@@ -49,7 +49,7 @@ class GroupCommunication:
         notify_delay_ms: float = 1.0,
         failure_detector: Optional[FailureDetector] = None,
         tracer: Optional[Tracer] = None,
-    ):
+    ) -> None:
         if notify_delay_ms < 0:
             raise ValueError(f"notify_delay_ms must be >= 0, got {notify_delay_ms}")
         self.sim = sim

@@ -43,7 +43,7 @@ class FailureDetector:
         poll_interval_ms: float = 50.0,
         confirm_polls: int = 2,
         tracer: Optional[Tracer] = None,
-    ):
+    ) -> None:
         if poll_interval_ms <= 0:
             raise ValueError(f"poll_interval_ms must be > 0, got {poll_interval_ms}")
         if confirm_polls < 1:

@@ -50,7 +50,7 @@ class GroupView:
 class Group:
     """One named group and its view history."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self._members: List[str] = []
         self._view_id = 0
@@ -131,7 +131,7 @@ class Group:
 class MembershipService:
     """Registry of all groups in the system."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._groups: Dict[str, Group] = {}
 
     def create(self, name: str) -> Group:

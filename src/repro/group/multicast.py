@@ -23,7 +23,7 @@ __all__ = ["MulticastGroup"]
 class MulticastGroup:
     """Send-to-subset multicast bound to one group and one transport."""
 
-    def __init__(self, group: Group, transport: Transport):
+    def __init__(self, group: Group, transport: Transport) -> None:
         self.group = group
         self.transport = transport
 

@@ -10,12 +10,14 @@ receives every transition as a :class:`HealthEvent`.
 See docs/ARCHITECTURE.md §5 for the full design.
 """
 
-from .monitor import HealthMonitor, ReplicaHealth
-from .state import HealthConfig, HealthEvent, HealthState
+from .monitor import HealthListener, HealthMonitor, ReplicaHealth
+from .state import FaultKind, HealthConfig, HealthEvent, HealthState
 
 __all__ = [
+    "FaultKind",
     "HealthConfig",
     "HealthEvent",
+    "HealthListener",
     "HealthMonitor",
     "HealthState",
     "ReplicaHealth",

@@ -24,10 +24,10 @@ Evidence semantics, chosen to survive the FIFO-queue asymmetry:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional
 
-from .state import HealthConfig, HealthEvent, HealthState
+from .state import FaultKind, HealthConfig, HealthEvent, HealthState
 
 __all__ = ["ReplicaHealth", "HealthMonitor"]
 
@@ -50,7 +50,7 @@ class ReplicaHealth:
     #: Absolute time the next re-admission probe is due (QUARANTINED).
     next_probe_at_ms: float = 0.0
     entered_state_at_ms: float = 0.0
-    last_fault_kind: Optional[str] = None
+    last_fault_kind: Optional[FaultKind] = None
 
 
 class HealthMonitor:
@@ -71,7 +71,7 @@ class HealthMonitor:
         self,
         config: Optional[HealthConfig] = None,
         listener: Optional[HealthListener] = None,
-    ):
+    ) -> None:
         self.config = config or HealthConfig()
         self._replicas: Dict[str, ReplicaHealth] = {}
         self._listeners: List[HealthListener] = []
@@ -182,7 +182,7 @@ class HealthMonitor:
             self._enter_probation(record, now_ms, "reply-while-quarantined")
 
     def record_fault(
-        self, name: str, now_ms: float, kind: str = "timing"
+        self, name: str, now_ms: float, kind: FaultKind = "timing"
     ) -> None:
         """A timing fault (late reply) or omission (no reply) from ``name``."""
         record = self._replicas.get(name)

@@ -39,9 +39,16 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Literal, Optional
 
-__all__ = ["HealthState", "HealthConfig", "HealthEvent"]
+__all__ = ["FaultKind", "HealthState", "HealthConfig", "HealthEvent"]
+
+
+#: The closed set of fault evidence kinds the monitor accepts.  A
+#: ``Literal`` rather than an enum so call sites keep passing the plain
+#: strings they always did (``record_fault(name, now, kind="omission")``)
+#: while mypy rejects any kind outside the set.
+FaultKind = Literal["timing", "omission", "crash", "probe-failure"]
 
 
 class HealthState(enum.Enum):

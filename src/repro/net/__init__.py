@@ -2,7 +2,7 @@
 
 from .lan import Host, LanModel, LinkProfile, bursty_jitter
 from .message import Message, next_message_id
-from .transport import Transport
+from .transport import Receiver, Transport, TransportAPI
 
 __all__ = [
     "Host",
@@ -11,5 +11,7 @@ __all__ = [
     "bursty_jitter",
     "Message",
     "next_message_id",
+    "Receiver",
     "Transport",
+    "TransportAPI",
 ]

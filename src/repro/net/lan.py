@@ -109,7 +109,7 @@ class LanModel:
         streams: RNGManager,
         default_profile: Optional[LinkProfile] = None,
         shared_congestion: Optional[Distribution] = None,
-    ):
+    ) -> None:
         self._streams = streams
         self.default_profile = default_profile or LinkProfile()
         self._hosts: Dict[str, Host] = {}

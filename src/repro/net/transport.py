@@ -10,16 +10,48 @@ selection and group-membership crash notification.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Protocol, Sequence
 
 from ..sim.kernel import Simulator
 from ..sim.trace import NullTracer, Tracer
 from .lan import LanModel
 from .message import Message
 
-__all__ = ["Transport"]
+__all__ = ["Receiver", "TransportAPI", "Transport"]
 
 Receiver = Callable[[Message], None]
+
+
+class TransportAPI(Protocol):
+    """Structural interface of a message transport.
+
+    Satisfied by :class:`Transport` and by decorators such as
+    :class:`repro.faultinject.transport.FaultyTransport`; gateways,
+    handlers and the group layer annotate against this so a
+    fault-injecting wrapper slots in without inheritance.
+    """
+
+    def bind(self, host_name: str, receiver: Receiver) -> None:
+        """Attach the receive callback for ``host_name``."""
+        ...
+
+    def unbind(self, host_name: str) -> None:
+        """Detach the receiver for ``host_name`` (idempotent)."""
+        ...
+
+    def is_bound(self, host_name: str) -> bool:
+        """Whether a receiver is attached for ``host_name``."""
+        ...
+
+    def send(self, message: Message, group_size: int = 1) -> float:
+        """Send one unicast message; returns a delay in milliseconds."""
+        ...
+
+    def multicast(
+        self, message: Message, destinations: Sequence[str]
+    ) -> List[float]:
+        """Send copies of ``message`` to every destination."""
+        ...
 
 
 class Transport:
@@ -41,7 +73,7 @@ class Transport:
         sim: Simulator,
         lan: LanModel,
         tracer: Optional[Tracer] = None,
-    ):
+    ) -> None:
         self.sim = sim
         self.lan = lan
         self.tracer = tracer if tracer is not None else NullTracer()
@@ -107,7 +139,7 @@ class Transport:
         """
         if not destinations:
             raise ValueError("multicast needs at least one destination")
-        delays = []
+        delays: List[float] = []
         group_size = len(destinations)
         for destination in destinations:
             copy = message.with_destination(destination)

@@ -23,7 +23,7 @@ class InvocationError(Exception):
 class DynamicInvoker:
     """Performs dynamic upcalls on a servant."""
 
-    def __init__(self, servant: Servant):
+    def __init__(self, servant: Servant) -> None:
         self.servant = servant
 
     def invoke(self, request: MethodRequest) -> Any:

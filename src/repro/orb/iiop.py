@@ -53,7 +53,7 @@ class MarshallingModel:
         base_ms: float = 0.15,
         per_kb_ms: float = 0.05,
         envelope_bytes: int = 64,
-    ):
+    ) -> None:
         if base_ms < 0 or per_kb_ms < 0 or envelope_bytes < 0:
             raise ValueError("marshalling parameters must be >= 0")
         self.base_ms = float(base_ms)

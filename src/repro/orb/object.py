@@ -41,7 +41,7 @@ class MethodSignature:
 class ServiceInterface:
     """A named collection of method signatures (an IDL interface analog)."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self._methods: Dict[str, MethodSignature] = {}
 
@@ -98,7 +98,7 @@ class Servant:
     replica's reply is as good as any other's.
     """
 
-    def __init__(self, interface: ServiceInterface):
+    def __init__(self, interface: ServiceInterface) -> None:
         self.interface = interface
 
     def dispatch(self, method: str, args: Tuple[Any, ...]) -> Any:
@@ -122,7 +122,7 @@ class FunctionServant(Servant):
         self,
         interface: ServiceInterface,
         handlers: Dict[str, Callable[..., Any]],
-    ):
+    ) -> None:
         super().__init__(interface)
         unknown = set(handlers) - {m.name for m in interface.methods()}
         if unknown:

@@ -34,7 +34,7 @@ class RequestInterceptor:
 class Orb:
     """Registry of service interfaces and per-service interceptors."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._interfaces: Dict[str, ServiceInterface] = {}
         self._interceptors: Dict[str, RequestInterceptor] = {}
 
@@ -96,7 +96,7 @@ class Orb:
 class Stub:
     """Client-side object reference; invocations return simulation events."""
 
-    def __init__(self, orb: Orb, interface: ServiceInterface):
+    def __init__(self, orb: Orb, interface: ServiceInterface) -> None:
         self._orb = orb
         self.interface = interface
 

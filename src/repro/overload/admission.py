@@ -18,7 +18,9 @@ flight, only then start rejecting fresh work.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
+
+from ..core.selection import SelectionMeta
 
 __all__ = ["AdmissionConfig", "AdmissionController"]
 
@@ -66,14 +68,14 @@ class AdmissionConfig:
 class AdmissionController:
     """Decides, per request, between admit and fail-fast shed."""
 
-    def __init__(self, config: Optional[AdmissionConfig] = None):
+    def __init__(self, config: Optional[AdmissionConfig] = None) -> None:
         self.config = config or AdmissionConfig()
         self.admitted = 0
         self.sheds = 0
         self.hedges_suppressed = 0
 
     @staticmethod
-    def best_probability(decision_meta: Dict[str, object]) -> Optional[float]:
+    def best_probability(decision_meta: SelectionMeta) -> Optional[float]:
         """Best per-replica probability annotated on the decision.
 
         ``None`` when the decision carries no model (bootstrap, static
@@ -81,12 +83,15 @@ class AdmissionController:
         of hopelessness, shedding would be guessing.
         """
         probabilities = decision_meta.get("probabilities")
+        # The isinstance guard is redundant under the checker but kept as
+        # runtime defense: untyped callers (tests, notebooks) hand-build
+        # meta dicts.
         if not isinstance(probabilities, dict) or not probabilities:
             return None
         return max(float(p) for p in probabilities.values())
 
     def should_shed(
-        self, decision_meta: Dict[str, object], load: float
+        self, decision_meta: SelectionMeta, load: float
     ) -> bool:
         """Admit-or-shed verdict; updates the controller's counters."""
         shed = False

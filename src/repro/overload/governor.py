@@ -36,8 +36,10 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from ..core.selection import (
+    GovernorMeta,
     SelectionContext,
     SelectionDecision,
+    SelectionMeta,
     SelectionPolicy,
 )
 from .load import LoadTracker
@@ -89,7 +91,7 @@ class GovernedSelectionPolicy(SelectionPolicy):
         inner: SelectionPolicy,
         tracker: LoadTracker,
         config: Optional[GovernorConfig] = None,
-    ):
+    ) -> None:
         self.inner = inner
         self.tracker = tracker
         self.config = config or GovernorConfig()
@@ -146,16 +148,13 @@ class GovernedSelectionPolicy(SelectionPolicy):
                 # Defense for cap-blind policies (static baselines).
                 decision = SelectionDecision(
                     selected=decision.selected[: max(cap, 1)],
-                    meta=dict(decision.meta),
+                    meta=decision.meta.copy(),
                 )
         if engaged:
             self.engagements += 1
 
-        meta = dict(decision.meta)
-        meta["governor"] = {
-            "load": load,
-            "cap": cap,
-            "available": available,
-            "engaged": engaged,
-        }
+        governor_meta = GovernorMeta(
+            load=load, cap=cap, available=available, engaged=engaged
+        )
+        meta: SelectionMeta = {**decision.meta, "governor": governor_meta}
         return SelectionDecision(selected=decision.selected, meta=meta)

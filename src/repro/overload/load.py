@@ -83,7 +83,7 @@ class LoadTracker:
         self,
         config: Optional[LoadConfig] = None,
         inflight_provider: Optional[Callable[[], int]] = None,
-    ):
+    ) -> None:
         self.config = config or LoadConfig()
         self.inflight_provider = inflight_provider
         # replica -> EWMA of the implied queue depth.

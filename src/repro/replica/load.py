@@ -22,7 +22,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..sim.random import Constant, Distribution, Normal
+from ..sim.random import Distribution, Normal
 
 __all__ = [
     "LoadModel",

@@ -32,6 +32,7 @@ from .manager import (
     derive_repetition_seed,
     derive_seed,
     seed_sequence,
+    seeded_generator,
 )
 
 __all__ = [
@@ -41,4 +42,5 @@ __all__ = [
     "derive_entity_seed",
     "derive_repetition_seed",
     "seed_sequence",
+    "seeded_generator",
 ]

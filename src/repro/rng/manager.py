@@ -103,6 +103,20 @@ def seed_sequence(base_seed: int, *parts: KeyPart) -> np.random.SeedSequence:
     return np.random.SeedSequence(derive_seed(base_seed, *parts))
 
 
+def seeded_generator(seed: int = 0) -> np.random.Generator:
+    """A bare generator seeded directly with ``seed`` (no key derivation).
+
+    The sanctioned escape hatch for components that accept an explicit
+    ``rng`` parameter and need a deterministic default when the caller
+    passes none.  Bit-identical to ``np.random.default_rng(seed)`` —
+    this helper exists so that construction happens inside the seeding
+    authority, where repro-lint's RL001 can see every stream is
+    accounted for.  Prefer :class:`RNGManager` named streams whenever a
+    manager is in reach.
+    """
+    return np.random.default_rng(seed)
+
+
 class RNGManager:
     """Provides deterministic, named child streams from one base seed.
 
@@ -116,7 +130,7 @@ class RNGManager:
     True
     """
 
-    def __init__(self, base_seed: int = 0):
+    def __init__(self, base_seed: int = 0) -> None:
         """Root every stream this manager hands out at ``base_seed``."""
         self.base_seed = int(base_seed)
         self._streams: Dict[Tuple[KeyPart, ...], np.random.Generator] = {}
@@ -210,7 +224,7 @@ class RNGRegistry(RNGManager):
         scenario: Optional[str] = None,
         worker: Optional[int] = None,
         repetition: Optional[int] = None,
-    ):
+    ) -> None:
         """Fold the ``(scenario, worker, repetition)`` scope into the seed."""
         self.scenario = scenario
         self.worker = worker

@@ -40,7 +40,7 @@ class Interrupt(Exception):
     interruption happened (e.g. a crash notification).
     """
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -68,7 +68,7 @@ class Event:
 
     __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "_queue_slot")
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self.callbacks: List[Callable[["Event"], None]] = []
         self._value: Any = None
@@ -152,7 +152,7 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"timeout delay must be >= 0, got {delay}")
         super().__init__(sim)
@@ -168,7 +168,7 @@ class _CompositeEvent(Event):
 
     __slots__ = ("events", "_remaining")
 
-    def __init__(self, sim: "Simulator", events: List[Event]):
+    def __init__(self, sim: "Simulator", events: List[Event]) -> None:
         super().__init__(sim)
         self.events = list(events)
         for event in self.events:

@@ -143,7 +143,7 @@ class Simulator:
         Initial value of the simulated clock, in milliseconds.
     """
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._queue = EventQueue()
         self._processed_events = 0

@@ -45,7 +45,7 @@ class Process(Event):
         sim: "Simulator",
         generator: Generator[Event, Any, Any],
         name: Optional[str] = None,
-    ):
+    ) -> None:
         if not hasattr(generator, "send"):
             raise TypeError(
                 f"Process needs a generator, got {type(generator).__name__}"

@@ -25,6 +25,7 @@ import math
 from typing import Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from ..rng import RNGManager
 
@@ -59,7 +60,7 @@ class RandomStreams(RNGManager):
     True
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         super().__init__(base_seed=seed)
 
 
@@ -74,7 +75,9 @@ class Distribution:
         """Analytic mean where known; used by tests and load balancing."""
         raise NotImplementedError
 
-    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+    def sample_many(
+        self, rng: np.random.Generator, n: int
+    ) -> npt.NDArray[np.float64]:
         """Draw ``n`` variates (vectorized where possible)."""
         return np.array([self.sample(rng) for _ in range(n)])
 
@@ -82,7 +85,7 @@ class Distribution:
 class Constant(Distribution):
     """Degenerate distribution: always ``value``."""
 
-    def __init__(self, value: float):
+    def __init__(self, value: float) -> None:
         if value < 0:
             raise ValueError(f"constant delay must be >= 0, got {value}")
         self.value = float(value)
@@ -93,7 +96,9 @@ class Constant(Distribution):
     def mean(self) -> float:
         return self.value
 
-    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+    def sample_many(
+        self, rng: np.random.Generator, n: int
+    ) -> npt.NDArray[np.float64]:
         return np.full(n, self.value)
 
     def __repr__(self) -> str:
@@ -103,7 +108,7 @@ class Constant(Distribution):
 class Uniform(Distribution):
     """Uniform on ``[low, high)``."""
 
-    def __init__(self, low: float, high: float):
+    def __init__(self, low: float, high: float) -> None:
         if high < low:
             raise ValueError(f"need low <= high, got [{low}, {high})")
         self.low = float(low)
@@ -115,7 +120,9 @@ class Uniform(Distribution):
     def mean(self) -> float:
         return (self.low + self.high) / 2.0
 
-    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+    def sample_many(
+        self, rng: np.random.Generator, n: int
+    ) -> npt.NDArray[np.float64]:
         return rng.uniform(self.low, self.high, size=n)
 
     def __repr__(self) -> str:
@@ -125,7 +132,7 @@ class Uniform(Distribution):
 class Exponential(Distribution):
     """Exponential with the given mean (not rate)."""
 
-    def __init__(self, mean: float):
+    def __init__(self, mean: float) -> None:
         if mean <= 0:
             raise ValueError(f"exponential mean must be > 0, got {mean}")
         self._mean = float(mean)
@@ -136,7 +143,9 @@ class Exponential(Distribution):
     def mean(self) -> float:
         return self._mean
 
-    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+    def sample_many(
+        self, rng: np.random.Generator, n: int
+    ) -> npt.NDArray[np.float64]:
         return rng.exponential(self._mean, size=n)
 
     def __repr__(self) -> str:
@@ -146,7 +155,7 @@ class Exponential(Distribution):
 class Normal(Distribution):
     """Normal(mu, sigma), clipped at zero (delays cannot be negative)."""
 
-    def __init__(self, mu: float, sigma: float):
+    def __init__(self, mu: float, sigma: float) -> None:
         if sigma < 0:
             raise ValueError(f"sigma must be >= 0, got {sigma}")
         self.mu = float(mu)
@@ -164,7 +173,9 @@ class Normal(Distribution):
         cdf = 0.5 * (1 + math.erf(z / math.sqrt(2)))
         return self.mu * cdf + self.sigma * phi
 
-    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+    def sample_many(
+        self, rng: np.random.Generator, n: int
+    ) -> npt.NDArray[np.float64]:
         return np.clip(rng.normal(self.mu, self.sigma, size=n), 0.0, None)
 
     def __repr__(self) -> str:
@@ -180,7 +191,7 @@ class TruncatedNormal(Distribution):
         sigma: float,
         low: float = 0.0,
         high: float = math.inf,
-    ):
+    ) -> None:
         if sigma <= 0:
             raise ValueError(f"sigma must be > 0, got {sigma}")
         if low >= high:
@@ -225,7 +236,7 @@ class TruncatedNormal(Distribution):
 class LogNormal(Distribution):
     """Log-normal parameterized by the *underlying* normal's mu/sigma."""
 
-    def __init__(self, mu: float, sigma: float):
+    def __init__(self, mu: float, sigma: float) -> None:
         if sigma < 0:
             raise ValueError(f"sigma must be >= 0, got {sigma}")
         self.mu = float(mu)
@@ -246,7 +257,9 @@ class LogNormal(Distribution):
     def mean(self) -> float:
         return math.exp(self.mu + self.sigma * self.sigma / 2.0)
 
-    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+    def sample_many(
+        self, rng: np.random.Generator, n: int
+    ) -> npt.NDArray[np.float64]:
         return rng.lognormal(self.mu, self.sigma, size=n)
 
     def __repr__(self) -> str:
@@ -256,7 +269,7 @@ class LogNormal(Distribution):
 class Pareto(Distribution):
     """Pareto with scale ``xm`` and shape ``alpha`` (heavy-tailed delays)."""
 
-    def __init__(self, xm: float, alpha: float):
+    def __init__(self, xm: float, alpha: float) -> None:
         if xm <= 0 or alpha <= 0:
             raise ValueError(f"need xm > 0 and alpha > 0, got {xm}, {alpha}")
         self.xm = float(xm)
@@ -277,7 +290,7 @@ class Pareto(Distribution):
 class Empirical(Distribution):
     """Resamples uniformly from a fixed set of observed values."""
 
-    def __init__(self, values: Sequence[float]):
+    def __init__(self, values: Sequence[float]) -> None:
         if not values:
             raise ValueError("empirical distribution needs at least one value")
         self.values = np.asarray(values, dtype=float)
@@ -288,7 +301,9 @@ class Empirical(Distribution):
     def mean(self) -> float:
         return float(self.values.mean())
 
-    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+    def sample_many(
+        self, rng: np.random.Generator, n: int
+    ) -> npt.NDArray[np.float64]:
         return rng.choice(self.values, size=n)
 
     def __repr__(self) -> str:
@@ -301,7 +316,7 @@ class Mixture(Distribution):
     Useful for bimodal service times (fast cache hits / slow misses).
     """
 
-    def __init__(self, components: Sequence[Distribution], weights: Sequence[float]):
+    def __init__(self, components: Sequence[Distribution], weights: Sequence[float]) -> None:
         if len(components) != len(weights):
             raise ValueError("components and weights must have equal length")
         if not components:
@@ -341,7 +356,7 @@ class MarkovModulated(Distribution):
         burst_dist: Distribution,
         p_enter_burst: float = 0.01,
         p_exit_burst: float = 0.2,
-    ):
+    ) -> None:
         for name, p in (("p_enter_burst", p_enter_burst), ("p_exit_burst", p_exit_burst)):
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {p}")

@@ -40,7 +40,7 @@ class TraceRecord:
 class Tracer:
     """Collects :class:`TraceRecord` entries and offers simple queries."""
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self.records: List[TraceRecord] = []
         self._listeners: List[Callable[[TraceRecord], None]] = []
@@ -100,7 +100,7 @@ class Tracer:
 class NullTracer(Tracer):
     """A tracer that records nothing; use when traces are not needed."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         super().__init__(enabled=False)
 
     def emit(self, time: float, source: str, kind: str, **data: Any) -> None:

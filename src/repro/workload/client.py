@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..gateway.handlers.timing_fault import ReplyOutcome
+from ..gateway.handlers.timing_fault import OutcomeKind, ReplyOutcome
 from ..orb.orb import Stub
 from ..rng import RNGManager
 from ..sim.kernel import Simulator
@@ -68,8 +68,8 @@ class ClientSummary:
 def _summarize(outcomes: List[ReplyOutcome]) -> ClientSummary:
     if not outcomes:
         return ClientSummary(0, 0, 0, 0.0, 0.0)
-    sheds = sum(1 for o in outcomes if getattr(o, "shed", False))
-    served = [o for o in outcomes if not getattr(o, "shed", False)]
+    sheds = sum(1 for o in outcomes if o.kind is OutcomeKind.SHED)
+    served = [o for o in outcomes if o.kind is not OutcomeKind.SHED]
     failures = sum(1 for o in served if not o.timely)
     timeouts = sum(1 for o in served if o.timed_out)
     mean_response = (

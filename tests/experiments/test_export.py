@@ -2,7 +2,6 @@
 
 import csv
 
-import pytest
 
 from repro.experiments.export import export_all, write_csv
 

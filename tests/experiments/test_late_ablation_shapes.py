@@ -81,8 +81,6 @@ class TestRunAllWiring:
     def test_quick_flag_parses(self):
         import argparse
 
-        from repro.experiments import run_all
-
         parser = argparse.ArgumentParser()
         parser.add_argument("--quick", action="store_true")
         assert parser.parse_args(["--quick"]).quick

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.faultinject import CrashRestartFault, LifecycleFaultDriver
+from repro.faultinject import CrashRestartFault
 from repro.sim.random import Constant
 
 from .conftest import FaultStack

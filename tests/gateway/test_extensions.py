@@ -10,7 +10,7 @@ from repro.gateway.handlers.timing_fault import (
 from repro.orb.object import MethodRequest, MethodSignature
 from repro.sim.random import Constant
 
-from .conftest import METHOD, SERVICE, MiniStack
+from .conftest import SERVICE, MiniStack
 
 
 def test_method_classifier():

@@ -5,7 +5,7 @@ import pytest
 from repro.core.qos import QoSSpec
 from repro.sim.random import Constant
 
-from .conftest import METHOD, SERVICE
+from .conftest import SERVICE
 
 
 def test_qos_service_must_match_interface(stack):

@@ -4,7 +4,6 @@ import pytest
 
 from repro.sim.random import Constant
 
-from .conftest import METHOD, SERVICE
 
 
 def test_request_is_serviced_and_replied(stack):

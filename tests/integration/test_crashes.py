@@ -1,6 +1,5 @@
 """Integration tests for crash tolerance (paper §5.3.2)."""
 
-import pytest
 
 from repro.core.baselines import SingleFastestPolicy
 from repro.core.qos import QoSSpec

@@ -1,0 +1,18 @@
+"""Path setup for the repro-lint self-tests.
+
+The lint pack lives in ``tools/`` (outside the installed package) so it
+can lint the package without importing it; the tests put ``tools/`` on
+``sys.path`` exactly like the CI job's ``PYTHONPATH=tools`` does.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TOOLS_DIR = REPO_ROOT / "tools"
+FIXTURES_DIR = Path(__file__).resolve().parent / "fixtures"
+
+if str(TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(TOOLS_DIR))

@@ -1,0 +1,10 @@
+"""RL001 clean: named streams and safe ``numpy.random`` type names only."""
+
+import numpy as np
+
+from repro.rng import RNGManager
+
+
+def draw(streams: RNGManager) -> float:
+    rng: np.random.Generator = streams.stream("workload")
+    return float(rng.random())

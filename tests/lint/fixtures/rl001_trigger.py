@@ -1,0 +1,11 @@
+"""RL001 trigger: ad-hoc RNG construction outside ``src/repro/rng/``."""
+
+import random
+
+import numpy as np
+
+
+def draw() -> float:
+    np.random.seed(7)
+    rng = np.random.default_rng(1)
+    return random.random() + float(rng.random())

@@ -1,0 +1,9 @@
+"""RL002 trigger: wall-clock reads inside a simulation layer."""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    started = datetime.now().timestamp()
+    return time.time() - started

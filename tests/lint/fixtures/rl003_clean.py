@@ -1,0 +1,11 @@
+"""RL003 clean: tolerance-based comparison of pmf/time values."""
+
+import math
+
+
+def same(deadline_ms: float, probability: float, count: int) -> bool:
+    return (
+        math.isclose(probability, 1.0)
+        and math.isclose(deadline_ms, 0.0, abs_tol=1e-9)
+        and count == 3
+    )

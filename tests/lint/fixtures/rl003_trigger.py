@@ -1,0 +1,7 @@
+"""RL003 trigger: bare float equality on pmf/time values."""
+
+
+def same(deadline_ms: float, probability: float) -> bool:
+    if probability == 1.0:
+        return True
+    return deadline_ms != 0.25

@@ -1,0 +1,7 @@
+"""RL004 clean: read-only inspection of the lifecycle books."""
+
+
+def leak_count(handler) -> int:
+    pending = len(handler._pending)
+    copies = sorted(handler._copies)
+    return pending + len(copies)

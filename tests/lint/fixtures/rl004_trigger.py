@@ -1,0 +1,8 @@
+"""RL004 trigger: lifecycle book mutations outside ``gateway/handlers/``."""
+
+
+class Meddler:
+    def reset(self, handler) -> None:
+        handler._pending.clear()
+        del handler._aliases[0]
+        handler._copies = {}

@@ -1,0 +1,9 @@
+"""RL005 clean: hot-path dataclass declaring ``slots=True``."""
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True, frozen=True)
+class Pending:
+    when: float
+    seq: int

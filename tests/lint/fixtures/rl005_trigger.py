@@ -1,0 +1,9 @@
+"""RL005 trigger: hot-path dataclass without ``slots=True``."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Pending:
+    when: float
+    seq: int

@@ -1,0 +1,102 @@
+"""Engine behavior: suppressions, file walking, and the CLI contract."""
+
+from __future__ import annotations
+
+from repro_lint.__main__ import main
+from repro_lint.engine import check_source, run_paths
+from repro_lint.rules import ALL_RULES, rule_by_id
+
+from .conftest import FIXTURES_DIR
+
+VIRTUAL = "src/repro/core/x.py"
+
+
+class TestSuppressions:
+    def test_line_suppression_silences_one_line(self):
+        source = (
+            "import random  # repro-lint: disable=RL001 (fixture rationale)\n"
+            "import random\n"
+        )
+        findings = check_source(
+            source, path="x.py", rules=[rule_by_id("RL001")], virtual_path=VIRTUAL
+        )
+        assert [f.line for f in findings] == [2]
+
+    def test_file_suppression_silences_whole_file(self):
+        source = (
+            "# repro-lint: disable-file=RL001\n"
+            "import random\n"
+            "import random\n"
+        )
+        findings = check_source(
+            source, path="x.py", rules=[rule_by_id("RL001")], virtual_path=VIRTUAL
+        )
+        assert findings == []
+
+    def test_suppression_is_rule_specific(self):
+        source = "import random  # repro-lint: disable=RL002\n"
+        findings = check_source(
+            source, path="x.py", rules=[rule_by_id("RL001")], virtual_path=VIRTUAL
+        )
+        assert [f.rule_id for f in findings] == ["RL001"]
+
+    def test_comma_separated_rule_list(self):
+        source = "import random  # repro-lint: disable=RL002, RL001\n"
+        findings = check_source(
+            source, path="x.py", rules=[rule_by_id("RL001")], virtual_path=VIRTUAL
+        )
+        assert findings == []
+
+
+class TestCli:
+    def _bad_tree(self, tmp_path):
+        """A throwaway tree whose path puts the file in RL001's scope."""
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        target = pkg / "bad.py"
+        target.write_text(
+            (FIXTURES_DIR / "rl001_trigger.py").read_text(encoding="utf-8"),
+            encoding="utf-8",
+        )
+        return tmp_path / "src"
+
+    def test_exit_zero_on_clean_tree(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "ok.py").write_text("VALUE = 1\n", encoding="utf-8")
+        assert main([str(tmp_path / "src")]) == 0
+
+    def test_exit_one_on_violations(self, tmp_path):
+        assert main([str(self._bad_tree(tmp_path))]) == 1
+
+    def test_exit_one_on_parse_error(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "broken.py").write_text("def oops(:\n", encoding="utf-8")
+        assert main([str(tmp_path / "src")]) == 1
+
+    def test_exit_two_on_unknown_rule(self, tmp_path):
+        assert main(["--select", "RL999", str(tmp_path)]) == 2
+
+    def test_exit_two_when_no_files_found(self, tmp_path):
+        assert main([str(tmp_path)]) == 2
+
+    def test_select_limits_rules(self, tmp_path):
+        # The RL001 trigger is clean under RL005 alone.
+        assert main(["--select", "RL005", str(self._bad_tree(tmp_path))]) == 0
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.rule_id in out
+
+
+def test_run_paths_counts_files(tmp_path):
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "a.py").write_text("A = 1\n", encoding="utf-8")
+    (pkg / "b.py").write_text("B = 2\n", encoding="utf-8")
+    report = run_paths([str(tmp_path)], ALL_RULES)
+    assert report.files_checked == 2
+    assert report.clean

@@ -1,0 +1,26 @@
+"""Acceptance: the real tree is violation-free under the full rule pack.
+
+This is the pytest twin of the CI gate ``python -m repro_lint src/`` —
+if it fails, either a real invariant violation slipped in (fix the code)
+or a rule is over-broad (fix the rule, with a fixture proving the false
+positive).
+"""
+
+from __future__ import annotations
+
+from repro_lint.__main__ import main
+from repro_lint.engine import run_paths
+from repro_lint.rules import ALL_RULES
+
+from .conftest import REPO_ROOT
+
+
+def test_src_tree_has_zero_violations():
+    report = run_paths([str(REPO_ROOT / "src")], ALL_RULES)
+    assert report.parse_errors == []
+    assert report.files_checked > 50  # the whole package, not a subset
+    assert [v.render() for v in report.violations] == []
+
+
+def test_cli_gate_matches_ci_invocation():
+    assert main([str(REPO_ROOT / "src")]) == 0

@@ -1,6 +1,5 @@
 """Unit tests for the metrics collector."""
 
-import pytest
 
 from repro.metrics.collector import MetricsCollector
 

@@ -1,6 +1,5 @@
 """Unit tests for streaming statistics and confidence intervals."""
 
-import math
 
 import numpy as np
 import pytest

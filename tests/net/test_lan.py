@@ -3,7 +3,7 @@
 import pytest
 
 from repro.net.lan import LanModel, LinkProfile, bursty_jitter
-from repro.sim.random import Constant, Normal, RandomStreams
+from repro.sim.random import Constant, Normal
 
 
 @pytest.fixture

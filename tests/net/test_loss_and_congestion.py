@@ -68,7 +68,7 @@ class TestSharedCongestion:
     def test_shared_state_correlates_links(self, streams):
         # With a Markov-modulated shared component, bursts hit messages on
         # *different* links at overlapping draws.
-        from repro.sim.random import MarkovModulated, Normal
+        from repro.sim.random import MarkovModulated
 
         shared = MarkovModulated(
             Constant(0.0), Constant(50.0),

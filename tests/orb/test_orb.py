@@ -4,7 +4,6 @@ import pytest
 
 from repro.orb.object import MethodRequest, MethodSignature, ServiceInterface
 from repro.orb.orb import Orb, OrbError, RequestInterceptor
-from repro.sim.kernel import Simulator
 
 
 class EchoInterceptor(RequestInterceptor):

@@ -7,7 +7,7 @@ fallback contract.
 
 import math
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.model import subset_timeliness_probability

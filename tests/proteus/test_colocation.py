@@ -6,9 +6,8 @@ from repro.core.qos import QoSSpec
 from repro.gateway.handlers.timing_fault import TimingFaultClientHandler
 from repro.orb.orb import Orb
 from repro.proteus.manager import ServiceSpec
-from repro.replica.load import ConstantLoad, CoupledLoad, HostActivity, ServiceProfile
+from repro.replica.load import CoupledLoad, HostActivity, ServiceProfile
 from repro.sim.random import Constant
-from repro.workload.client import ClosedLoopClient
 from repro.workload.scenarios import (
     IntegerServant,
     Scenario,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.events import AllOf, AnyOf, Event, EventState, SimulationError, Timeout
+from repro.sim.events import SimulationError
 from repro.sim.kernel import Simulator
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.qos import QoSSpec
-from repro.sim.random import Constant, Exponential
+from repro.sim.random import Constant
 from repro.workload.client import ClientSummary
 from repro.workload.scenarios import Scenario, ScenarioConfig
 

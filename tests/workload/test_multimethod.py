@@ -1,9 +1,8 @@
 """Tests for multi-method scenarios and method choosers."""
 
-import pytest
 
 from repro.core.qos import QoSSpec
-from repro.sim.random import Constant, Normal
+from repro.sim.random import Constant
 from repro.replica.load import ServiceProfile
 from repro.workload.scenarios import Scenario, ScenarioConfig
 

@@ -1,0 +1,52 @@
+"""repro-lint: the repository's custom determinism/lifecycle lint pack.
+
+Five AST-based rules encode the invariants that keep the reproduction
+deterministic and its request lifecycle auditable — properties a general
+linter cannot know about:
+
+* **RL001** — all randomness flows through ``repro.rng`` named streams:
+  no stdlib ``random``, no ``np.random.seed``/``RandomState``, no ad-hoc
+  ``np.random.default_rng`` outside ``src/repro/rng/``.
+* **RL002** — the simulation layers tell time only through the sim
+  clock: no ``time.time``/``time.monotonic``/``datetime.now`` inside
+  ``sim/``, ``core/``, ``gateway/``, ``overload/``, ``health/``
+  (``time.perf_counter`` is exempt: it measures host CPU overhead, not
+  simulated time — see docs/STATIC_ANALYSIS.md).
+* **RL003** — no bare float ``==``/``!=`` on pmf/time-valued
+  expressions; exact comparisons belong to the grid-tolerance helpers in
+  ``core/distribution.py``.
+* **RL004** — the request-lifecycle books (``_pending``, ``_aliases``,
+  ``_probes_in_flight``, ``_copies``) are mutated only inside
+  ``gateway/handlers/`` (the single-writer invariant the
+  :class:`~repro.faultinject.auditor.LifecycleAuditor` relies on).
+* **RL005** — hot-path dataclasses in ``net/message.py`` and
+  ``sim/events.py`` must declare ``slots=True``.
+
+Run as ``python -m repro_lint src/`` (exits non-zero on violations) or
+through the pytest suite in ``tests/lint/``.  Suppress a finding with a
+trailing ``# repro-lint: disable=RL00x (reason)`` comment; see
+docs/STATIC_ANALYSIS.md for the full catalog and suppression policy.
+"""
+
+from .engine import (
+    LintReport,
+    Rule,
+    Violation,
+    check_source,
+    iter_python_files,
+    run_paths,
+)
+from .rules import ALL_RULES, rule_by_id
+
+__all__ = [
+    "ALL_RULES",
+    "LintReport",
+    "Rule",
+    "Violation",
+    "check_source",
+    "iter_python_files",
+    "rule_by_id",
+    "run_paths",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,171 @@
+"""Rule engine: file walking, suppression parsing, violation reporting.
+
+The engine is deliberately small: a :class:`Rule` couples a path
+predicate (``applies_to``) with an AST check (``check``); the engine
+parses each file once, runs every applicable rule, and filters the
+findings through the suppression comments.
+
+Suppression syntax (documented in docs/STATIC_ANALYSIS.md):
+
+* ``# repro-lint: disable=RL003`` — trailing comment on the flagged
+  line; suppresses the listed rule(s) (comma-separated) for that line
+  only.  An optional parenthesised rationale may follow.
+* ``# repro-lint: disable-file=RL001`` — anywhere in the file on its
+  own line; suppresses the listed rule(s) for the whole file (used by
+  the lint fixtures' clean twins, never in ``src/``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+__all__ = [
+    "LintReport",
+    "Rule",
+    "Violation",
+    "check_source",
+    "iter_python_files",
+    "run_paths",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable|disable-file)\s*=\s*"
+    r"(?P<rules>RL\d{3}(?:\s*,\s*RL\d{3})*)"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule finding at a specific source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        """``path:line: RLxxx message`` — the CLI output format."""
+        return f"{self.path}:{self.line}: {self.rule_id} {self.message}"
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`rule_id`/:attr:`title`, implement
+    :meth:`applies_to` (path predicate over posix-style paths) and
+    :meth:`check` (AST pass returning raw findings — suppression is the
+    engine's job).
+    """
+
+    rule_id: str = "RL000"
+    title: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule inspects the file at ``path``."""
+        raise NotImplementedError
+
+    def check(self, tree: ast.Module, path: str) -> List[Violation]:
+        """Run the rule over a parsed module."""
+        raise NotImplementedError
+
+    def violation(self, path: str, node: ast.AST, message: str) -> Violation:
+        """Build a :class:`Violation` anchored at ``node``."""
+        return Violation(
+            rule_id=self.rule_id,
+            path=path,
+            line=getattr(node, "lineno", 0),
+            message=message,
+        )
+
+
+@dataclass
+class LintReport:
+    """Aggregated result of one lint run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """Whether the run found nothing (parse failures count as dirty)."""
+        return not self.violations and not self.parse_errors
+
+
+def _suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Parse suppression comments: (line -> rule ids, file-wide rule ids)."""
+    per_line: Dict[int, Set[str]] = {}
+    whole_file: Set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group("rules").split(",")}
+        if match.group("kind") == "disable-file":
+            whole_file.update(rules)
+        else:
+            per_line.setdefault(lineno, set()).update(rules)
+    return per_line, whole_file
+
+
+def _normalize(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def check_source(
+    source: str,
+    path: str,
+    rules: Sequence[Rule],
+    *,
+    virtual_path: str | None = None,
+) -> List[Violation]:
+    """Lint one source string.
+
+    ``virtual_path`` lets the fixture tests pretend a file lives at a
+    rule-scoped location (e.g. ``src/repro/core/x.py``) while reporting
+    findings against the real ``path``.
+    """
+    scope_path = _normalize(virtual_path if virtual_path is not None else path)
+    tree = ast.parse(source, filename=path)
+    per_line, whole_file = _suppressions(source)
+    findings: List[Violation] = []
+    for rule in rules:
+        if not rule.applies_to(scope_path):
+            continue
+        for violation in rule.check(tree, _normalize(path)):
+            if violation.rule_id in whole_file:
+                continue
+            if violation.rule_id in per_line.get(violation.line, set()):
+                continue
+            findings.append(violation)
+    findings.sort(key=lambda v: (v.path, v.line, v.rule_id))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under the given files/directories."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def run_paths(paths: Iterable[str], rules: Sequence[Rule]) -> LintReport:
+    """Lint every Python file under ``paths`` with ``rules``."""
+    report = LintReport()
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            found = check_source(source, str(file_path), rules)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            report.parse_errors.append(f"{file_path}: {exc}")
+            continue
+        report.files_checked += 1
+        report.violations.extend(found)
+    return report

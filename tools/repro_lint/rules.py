@@ -1,0 +1,402 @@
+"""The five repro-lint rules (RL001–RL005).
+
+Each rule documents the invariant it guards and the sanctioned escape
+hatch; the full catalog with rationale lives in docs/STATIC_ANALYSIS.md.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Sequence
+
+from .engine import Rule, Violation
+
+__all__ = [
+    "ALL_RULES",
+    "RngDiscipline",
+    "SimClockOnly",
+    "FloatEquality",
+    "LifecycleSingleWriter",
+    "SlottedHotPath",
+    "rule_by_id",
+]
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a pure Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> fully dotted module/attribute it refers to."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                local = name.asname or name.name.split(".", 1)[0]
+                aliases[local] = name.name if name.asname else local
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for name in node.names:
+                local = name.asname or name.name
+                aliases[local] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def _resolve(chain: str, aliases: Dict[str, str]) -> str:
+    head, _, rest = chain.partition(".")
+    resolved_head = aliases.get(head, head)
+    return f"{resolved_head}.{rest}" if rest else resolved_head
+
+
+def _in_repro(path: str) -> bool:
+    return "/repro/" in path or path.startswith("repro/")
+
+
+class RngDiscipline(Rule):
+    """RL001 — all randomness flows through ``repro.rng`` named streams."""
+
+    rule_id = "RL001"
+    title = "no ad-hoc RNG construction or global random state"
+
+    #: numpy.random members that are legitimate outside repro.rng: type
+    #: names used in annotations and isinstance checks.  Everything else
+    #: (default_rng, seed, RandomState, and every module-level draw
+    #: function) either constructs an unmanaged stream or touches the
+    #: hidden global one.
+    SAFE_NUMPY_RANDOM = frozenset(
+        {
+            "Generator",
+            "BitGenerator",
+            "SeedSequence",
+            "PCG64",
+            "PCG64DXSM",
+            "Philox",
+            "SFC64",
+            "MT19937",
+        }
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return _in_repro(path) and "/rng/" not in path
+
+    def check(self, tree: ast.Module, path: str) -> List[Violation]:
+        aliases = _import_aliases(tree)
+        findings: List[Violation] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    if name.name == "random" or name.name.startswith("random."):
+                        findings.append(
+                            self.violation(
+                                path,
+                                node,
+                                "stdlib `random` is banned; draw from a "
+                                "named repro.rng stream instead",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "random":
+                    findings.append(
+                        self.violation(
+                            path,
+                            node,
+                            "stdlib `random` is banned; draw from a "
+                            "named repro.rng stream instead",
+                        )
+                    )
+                elif node.module in ("numpy.random", "np.random"):
+                    for name in node.names:
+                        if name.name not in self.SAFE_NUMPY_RANDOM:
+                            findings.append(
+                                self.violation(
+                                    path,
+                                    node,
+                                    f"`numpy.random.{name.name}` is banned "
+                                    "outside src/repro/rng/; use "
+                                    "repro.rng named streams "
+                                    "(seeded_generator for a bare seed)",
+                                )
+                            )
+            elif isinstance(node, ast.Attribute):
+                chain = _dotted_name(node)
+                if chain is None:
+                    continue
+                resolved = _resolve(chain, aliases)
+                match = re.fullmatch(r"numpy\.random\.(\w+)", resolved)
+                if match and match.group(1) not in self.SAFE_NUMPY_RANDOM:
+                    findings.append(
+                        self.violation(
+                            path,
+                            node,
+                            f"`numpy.random.{match.group(1)}` is banned "
+                            "outside src/repro/rng/; use repro.rng named "
+                            "streams (seeded_generator for a bare seed)",
+                        )
+                    )
+        return findings
+
+
+class SimClockOnly(Rule):
+    """RL002 — simulation layers read time from the sim clock only."""
+
+    rule_id = "RL002"
+    title = "no wall-clock reads inside the simulation layers"
+
+    SCOPES = ("/sim/", "/core/", "/gateway/", "/overload/", "/health/")
+
+    #: Wall-clock reads.  ``time.perf_counter`` is deliberately exempt —
+    #: it measures host CPU overhead (paper §5.3.3's delta), never
+    #: simulated time; docs/STATIC_ANALYSIS.md records the exemption.
+    BANNED = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "datetime.datetime.today",
+            "datetime.date.today",
+        }
+    )
+
+    BANNED_FROM_TIME = frozenset(
+        {"time", "time_ns", "monotonic", "monotonic_ns"}
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return _in_repro(path) and any(scope in path for scope in self.SCOPES)
+
+    def check(self, tree: ast.Module, path: str) -> List[Violation]:
+        aliases = _import_aliases(tree)
+        findings: List[Violation] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "time":
+                    for name in node.names:
+                        if name.name in self.BANNED_FROM_TIME:
+                            findings.append(
+                                self.violation(
+                                    path,
+                                    node,
+                                    f"wall-clock `time.{name.name}` is "
+                                    "banned here; use the sim clock "
+                                    "(Simulator.now)",
+                                )
+                            )
+            elif isinstance(node, ast.Attribute):
+                chain = _dotted_name(node)
+                if chain is None:
+                    continue
+                resolved = _resolve(chain, aliases)
+                if resolved in self.BANNED:
+                    findings.append(
+                        self.violation(
+                            path,
+                            node,
+                            f"wall-clock `{resolved}` is banned here; use "
+                            "the sim clock (Simulator.now)",
+                        )
+                    )
+        return findings
+
+
+class FloatEquality(Rule):
+    """RL003 — no bare float ``==``/``!=`` on pmf/time values."""
+
+    rule_id = "RL003"
+    title = "no exact float equality on pmf/time values"
+
+    #: Identifier fragments marking a pmf/probability/grid value.
+    VALUE_PATTERN = re.compile(
+        r"pmf|bin_width|mass|cdf|quantile|probabilit|tolerance"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        # core/distribution.py owns the sanctioned grid-tolerance
+        # helpers and compares exact bin widths by design.
+        return _in_repro(path) and not path.endswith("core/distribution.py")
+
+    def _suspicious(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant) and type(node.value) is float:
+            return True
+        ident: Optional[str] = None
+        if isinstance(node, ast.Name):
+            ident = node.id
+        elif isinstance(node, ast.Attribute):
+            ident = node.attr
+        if ident is None:
+            return False
+        return bool(self.VALUE_PATTERN.search(ident)) or ident.endswith("_ms")
+
+    def check(self, tree: ast.Module, path: str) -> List[Violation]:
+        findings: List[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if self._suspicious(left) or self._suspicious(right):
+                    findings.append(
+                        self.violation(
+                            path,
+                            node,
+                            "bare float equality on a pmf/time value; "
+                            "use math.isclose or the grid-tolerance "
+                            "helpers in core/distribution.py",
+                        )
+                    )
+                    break
+        return findings
+
+
+class LifecycleSingleWriter(Rule):
+    """RL004 — lifecycle books are written only in ``gateway/handlers/``."""
+
+    rule_id = "RL004"
+    title = "lifecycle bookkeeping has a single writer"
+
+    BOOKS = frozenset({"_pending", "_aliases", "_probes_in_flight", "_copies"})
+    MUTATORS = frozenset(
+        {
+            "add",
+            "append",
+            "clear",
+            "discard",
+            "extend",
+            "insert",
+            "pop",
+            "popitem",
+            "remove",
+            "setdefault",
+            "update",
+        }
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return _in_repro(path) and "/gateway/handlers/" not in path
+
+    def _is_book(self, node: ast.AST) -> bool:
+        return isinstance(node, ast.Attribute) and node.attr in self.BOOKS
+
+    def _book_target(self, node: ast.AST) -> bool:
+        """Whether an assignment/delete target touches a book."""
+        if self._is_book(node):
+            return True
+        if isinstance(node, ast.Subscript):
+            return self._is_book(node.value)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return any(self._book_target(elt) for elt in node.elts)
+        if isinstance(node, ast.Starred):
+            return self._book_target(node.value)
+        return False
+
+    def check(self, tree: ast.Module, path: str) -> List[Violation]:
+        findings: List[Violation] = []
+
+        def flag(node: ast.AST, how: str) -> None:
+            findings.append(
+                self.violation(
+                    path,
+                    node,
+                    f"{how} of lifecycle bookkeeping outside "
+                    "gateway/handlers/ breaks the single-writer "
+                    "invariant the LifecycleAuditor audits",
+                )
+            )
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                if any(self._book_target(t) for t in node.targets):
+                    flag(node, "assignment")
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                if node.target is not None and self._book_target(node.target):
+                    flag(node, "assignment")
+            elif isinstance(node, ast.Delete):
+                if any(self._book_target(t) for t in node.targets):
+                    flag(node, "deletion")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in self.MUTATORS
+                    and self._is_book(func.value)
+                ):
+                    flag(node, f"mutating call (.{func.attr})")
+        return findings
+
+
+class SlottedHotPath(Rule):
+    """RL005 — hot-path dataclasses must declare ``slots=True``."""
+
+    rule_id = "RL005"
+    title = "hot-path dataclasses declare slots=True"
+
+    HOT_FILES = ("net/message.py", "sim/events.py")
+
+    def applies_to(self, path: str) -> bool:
+        return _in_repro(path) and any(
+            path.endswith(hot) for hot in self.HOT_FILES
+        )
+
+    @staticmethod
+    def _dataclass_decorator(node: ast.expr) -> Optional[ast.expr]:
+        """The decorator node if it is ``dataclass``/``dataclasses.dataclass``."""
+        target = node.func if isinstance(node, ast.Call) else node
+        name = _dotted_name(target)
+        if name in ("dataclass", "dataclasses.dataclass"):
+            return node
+        return None
+
+    def check(self, tree: ast.Module, path: str) -> List[Violation]:
+        findings: List[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for decorator in node.decorator_list:
+                found = self._dataclass_decorator(decorator)
+                if found is None:
+                    continue
+                slotted = isinstance(found, ast.Call) and any(
+                    keyword.arg == "slots"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                    for keyword in found.keywords
+                )
+                if not slotted:
+                    findings.append(
+                        self.violation(
+                            path,
+                            node,
+                            f"dataclass `{node.name}` in a hot-path module "
+                            "must declare slots=True",
+                        )
+                    )
+        return findings
+
+
+ALL_RULES: Sequence[Rule] = (
+    RngDiscipline(),
+    SimClockOnly(),
+    FloatEquality(),
+    LifecycleSingleWriter(),
+    SlottedHotPath(),
+)
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    """Look up a rule instance by its ``RLxxx`` id."""
+    for rule in ALL_RULES:
+        if rule.rule_id == rule_id:
+            return rule
+    raise KeyError(f"unknown rule id {rule_id!r}")
