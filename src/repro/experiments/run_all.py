@@ -18,6 +18,7 @@ from . import (
     adaptation_timeline,
     bursty_network,
     calibration,
+    chaos_campaign,
     colocation,
     factors,
     fig3_overhead,
@@ -56,6 +57,7 @@ ALL_EXPERIMENTS = [
     ("A14 adaptation timeline", adaptation_timeline),
     ("A15 health under degradation", health_degradation),
     ("A16 overload collapse", overload_collapse),
+    ("A17 chaos campaign", chaos_campaign),
 ]
 
 

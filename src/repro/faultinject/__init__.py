@@ -4,14 +4,21 @@ Three composable layers:
 
 * :mod:`~repro.faultinject.schedule` — declarative fault schedules
   (drops, delay spikes, duplicated/late replies, crash+restart, view
-  churn, persistent degradation) plus a randomized-schedule generator;
+  churn, persistent degradation, network partitions) plus a
+  randomized-schedule generator;
 * :mod:`~repro.faultinject.transport` /
-  :mod:`~repro.faultinject.drivers` — interpreters that apply a schedule
-  to a running deployment (message level and host level respectively);
+  :mod:`~repro.faultinject.drivers` /
+  :mod:`~repro.faultinject.partition` — interpreters that apply a
+  schedule to a running deployment (message level, host level and
+  connectivity level respectively);
 * :mod:`~repro.faultinject.auditor` — the drain-time
   :class:`LifecycleAuditor` asserting the request-lifecycle invariants
   (exactly-once completion, no leaked bookkeeping, no resurrected
-  replicas, idle servers).
+  replicas, idle servers, no acks from the dark side of a cut);
+* :mod:`~repro.faultinject.campaign` — the randomized chaos-campaign
+  engine: composed schedules fanned over the parallel sweep runner,
+  audited per scenario, with a delta-debugging shrinker that minimizes
+  failing schedules to a replayable reproducer.
 
 See docs/ARCHITECTURE.md ("Fault injection and lifecycle invariants").
 """
@@ -22,8 +29,24 @@ from .auditor import (
     LifecycleViolation,
     SubmissionRecord,
 )
+from .campaign import (
+    CampaignConfig,
+    CampaignResult,
+    ScheduleOutcome,
+    flatten_schedule,
+    rebuild_schedule,
+    run_campaign,
+    run_scenario,
+    shrink_schedule,
+)
 from .drivers import LifecycleFaultDriver
 from .overload import OverloadDriver
+from .partition import (
+    PROBE_EXEMPT_KINDS,
+    PartitionDriver,
+    PartitionFault,
+    grey_partition,
+)
 from .schedule import (
     ChurnFault,
     CrashRestartFault,
@@ -39,6 +62,8 @@ from .transport import FaultyTransport
 
 __all__ = [
     "AuditReport",
+    "CampaignConfig",
+    "CampaignResult",
     "ChurnFault",
     "CrashRestartFault",
     "DegradationFault",
@@ -52,6 +77,16 @@ __all__ = [
     "LifecycleViolation",
     "OverloadDriver",
     "OverloadFault",
+    "PROBE_EXEMPT_KINDS",
+    "PartitionDriver",
+    "PartitionFault",
+    "ScheduleOutcome",
     "SubmissionRecord",
+    "grey_partition",
+    "flatten_schedule",
     "random_fault_schedule",
+    "rebuild_schedule",
+    "run_campaign",
+    "run_scenario",
+    "shrink_schedule",
 ]

@@ -16,20 +16,29 @@ invariants that must hold no matter what faults were injected:
    must not bring an evicted replica back).
 4. **Idle servers**: every non-crashed server has an empty queue and no
    request in service.
+5. **No acks from the dark side** (partition-aware, needs
+   :meth:`LifecycleAuditor.set_schedule`): a request whose entire
+   lifetime fell inside a blackout cut separating its client from the
+   replying replica cannot have received that reply — a reply anyway
+   means partition enforcement leaked.
 
 ``audit()`` returns an :class:`AuditReport`; ``assert_clean()`` raises
 :class:`LifecycleViolation` with the full report when anything leaked.
+When a replay recipe has been attached via
+:meth:`LifecycleAuditor.set_replay`, the report (and therefore the
+violation message) carries the one-line command that reproduces the run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from .._compat import assert_never
 from ..gateway.handlers.timing_fault import OutcomeKind, ReplyOutcome
 from ..orb.object import MethodRequest
 from ..sim.events import Event
+from .schedule import FaultSchedule
 
 __all__ = [
     "SubmissionRecord",
@@ -64,6 +73,7 @@ class AuditReport:
     timeouts: int
     violations: List[str]
     sheds: int = 0
+    replay: Optional[str] = None
 
     @property
     def clean(self) -> bool:
@@ -85,6 +95,8 @@ class AuditReport:
             return head + ", clean"
         lines = [head + f", {len(self.violations)} violation(s):"]
         lines.extend(f"  - {violation}" for violation in self.violations)
+        if self.replay is not None:
+            lines.append(f"  replay: {self.replay}")
         return "\n".join(lines)
 
 
@@ -95,8 +107,19 @@ class LifecycleAuditor:
         self._clients: List[Any] = []
         self._servers: List[Any] = []
         self.records: List[SubmissionRecord] = []
+        self._schedule: Optional[FaultSchedule] = None
+        self._replay: Optional[str] = None
 
     # -- wiring --------------------------------------------------------------
+    def set_schedule(self, schedule: FaultSchedule) -> None:
+        """Attach the injected fault schedule, enabling the
+        partition-aware invariants (no acks from the dark side)."""
+        self._schedule = schedule
+
+    def set_replay(self, replay: str) -> None:
+        """Attach a one-line replay recipe embedded in dirty reports."""
+        self._replay = replay
+
     def watch_client(self, handler: Any) -> None:
         """Track every request submitted through ``handler``.
 
@@ -193,6 +216,10 @@ class LifecycleAuditor:
                         f"{label}: replied without a replica "
                         "(neither reply nor timeout)"
                     )
+                else:
+                    violations.extend(
+                        self._dark_side_violations(label, record, outcome)
+                    )
             else:
                 assert_never(kind)
         for handler in self._clients:
@@ -205,7 +232,38 @@ class LifecycleAuditor:
             timeouts=timeouts,
             violations=violations,
             sheds=sheds,
+            replay=self._replay,
         )
+
+    def _dark_side_violations(
+        self, label: str, record: SubmissionRecord, outcome: ReplyOutcome
+    ) -> List[str]:
+        """Invariant 5: a reply across a total steady cut is impossible.
+
+        Only *blackout* cuts (total, exemption-free, non-flapping) are
+        checked — lossy, flapping or probe-exempt partitions legitimately
+        let the odd message through, so convicting on them would be a
+        false positive.
+        """
+        if self._schedule is None:
+            return []
+        assert outcome.replica is not None
+        submitted = record.submitted_at_ms
+        completed = submitted + outcome.response_time_ms
+        violations: List[str] = []
+        for fault in self._schedule.partitions:
+            if not fault.blackout:
+                continue
+            if not fault.separates(record.client, outcome.replica):
+                continue
+            if fault.start_ms <= submitted and completed <= fault.end_ms:
+                violations.append(
+                    f"{label}: acknowledged by {outcome.replica!r} from the "
+                    f"dark side of a blackout cut "
+                    f"[{fault.start_ms:.1f}, {fault.end_ms:.1f}]ms "
+                    "(partition enforcement leaked)"
+                )
+        return violations
 
     @staticmethod
     def _handler_leaks(role: str, handler: Any) -> List[str]:

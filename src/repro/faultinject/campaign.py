@@ -1,0 +1,572 @@
+"""The chaos-campaign engine: randomized composed schedules at scale.
+
+One scenario of the ``tests/faults`` suite scripts a handful of faults by
+hand.  A *campaign* instead draws hundreds of randomized **composed**
+schedules — partitions × crashes × degradations × overload surges, each
+family from its own disjoint RNG substream — runs every schedule against
+a fresh deployment, and checks two things per scenario:
+
+* the drain-time lifecycle invariants of
+  :class:`~repro.faultinject.auditor.LifecycleAuditor` (exactly-once
+  completion, no leaks, no resurrection, idle servers, no acks from the
+  dark side of a cut), and
+* campaign-level QoS floors (a minimum reply fraction and a minimum
+  timely fraction) that catch silent service collapse the invariants
+  cannot see.
+
+Scenarios fan out across worker processes through
+:func:`repro.experiments.parallel.run_sweep`, inheriting its 1-vs-N
+worker bit-identical merge.  Every scenario's randomness is a pure
+function of ``(campaign base seed, scenario index)``, so any failure is
+replayable from the one-line recipe embedded in its report — and
+:func:`shrink_schedule` (classic ddmin) minimizes a failing schedule to
+the smallest fault subset that still reproduces the failure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.qos import QoSSpec
+from ..gateway.gateway import Gateway
+from ..gateway.handlers.timing_fault import (
+    TimingFaultClientHandler,
+    TimingFaultServerHandler,
+)
+from ..group.ensemble import GroupCommunication
+from ..group.failure_detector import FailureDetector
+from ..health import HealthConfig
+from ..net.lan import LanModel, LinkProfile
+from ..net.message import reset_message_ids
+from ..net.transport import Transport
+from ..orb.iiop import MarshallingModel
+from ..orb.orb import Orb
+from ..replica.load import ServiceProfile
+from ..replica.server import ReplicaApplication
+from ..rng import RNGManager, derive_entity_seed
+from ..sim.kernel import Simulator
+from ..sim.random import Constant, RandomStreams
+from .auditor import LifecycleAuditor
+from .drivers import LifecycleFaultDriver
+from .overload import OverloadDriver
+from .partition import PartitionDriver
+from .schedule import FaultSchedule, random_fault_schedule
+from .transport import FaultyTransport
+
+__all__ = [
+    "CampaignConfig",
+    "ScheduleOutcome",
+    "CampaignResult",
+    "schedule_digest",
+    "draw_composed_schedule",
+    "run_scenario",
+    "run_campaign",
+    "flatten_schedule",
+    "rebuild_schedule",
+    "shrink_schedule",
+]
+
+SERVICE = "search"
+METHOD = "process"
+
+#: Every schedule family ddmin shrinks over, in FaultSchedule order.
+_FAMILIES = (
+    "drops",
+    "delays",
+    "duplicates",
+    "crashes",
+    "churn",
+    "degradations",
+    "overloads",
+    "partitions",
+)
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Every knob of one chaos campaign (pure data, picklable).
+
+    The per-family ``max_*`` counts bound the *composed* schedule drawn
+    for each scenario; the actual counts are drawn uniformly in
+    ``[0, max]`` from the scenario's own ``campaign.mix`` substream, so
+    scenarios range from calm to everything-at-once.  ``min_reply_fraction``
+    and ``min_timely_fraction`` are the campaign-level QoS floors; a
+    scenario below either floor counts as failed even when every
+    lifecycle invariant held.
+    """
+
+    schedules: int = 200
+    base_seed: int = 0
+    horizon_ms: float = 3000.0
+    replicas: int = 5
+    clients: int = 2
+    requests_per_client: int = 25
+    think_ms: float = 4.0
+    deadline_ms: float = 100.0
+    min_probability: float = 0.0
+    service_ms: float = 8.0
+    max_drop_windows: int = 2
+    max_delay_windows: int = 2
+    max_duplicate_windows: int = 2
+    max_crash_restarts: int = 2
+    max_churn_events: int = 1
+    max_degradations: int = 1
+    max_overload_windows: int = 1
+    max_partition_windows: int = 2
+    drop_probability: float = 0.3
+    surge_interarrival_ms: float = 10.0
+    min_reply_fraction: float = 0.3
+    min_timely_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.schedules < 1:
+            raise ValueError(f"schedules must be >= 1, got {self.schedules}")
+        if self.replicas < 2:
+            raise ValueError(f"replicas must be >= 2, got {self.replicas}")
+        if self.clients < 1:
+            raise ValueError(f"clients must be >= 1, got {self.clients}")
+        if self.horizon_ms <= 0:
+            raise ValueError(f"horizon_ms must be > 0, got {self.horizon_ms}")
+
+    @property
+    def replica_hosts(self) -> Tuple[str, ...]:
+        """The replica host names of every scenario deployment."""
+        return tuple(f"s-{i + 1}" for i in range(self.replicas))
+
+    @property
+    def client_hosts(self) -> Tuple[str, ...]:
+        """The client host names of every scenario deployment."""
+        return tuple(f"client-{i + 1}" for i in range(self.clients))
+
+    # -- per-scenario seed derivation ---------------------------------------
+    def scenario_seed(self, index: int) -> int:
+        """Seed for scenario ``index``'s deployment streams."""
+        return derive_entity_seed(self.base_seed, "chaos.scenario", index, 0)
+
+    def wire_seed(self, index: int) -> int:
+        """Seed for scenario ``index``'s fault-injection draws."""
+        return derive_entity_seed(self.base_seed, "chaos.wire", index, 0)
+
+    def schedule_seed(self, index: int) -> int:
+        """Seed for scenario ``index``'s composed-schedule drawing."""
+        return derive_entity_seed(self.base_seed, "chaos.schedule", index, 0)
+
+    def replay_line(self, index: int, digest: str) -> str:
+        """The one-line recipe that reruns scenario ``index`` exactly."""
+        return (
+            "python -m repro.experiments.chaos_campaign "
+            f"--replay {self.base_seed}:{index}:{digest[:12]}"
+        )
+
+
+def schedule_digest(schedule: FaultSchedule) -> str:
+    """Content hash of a schedule (its repr is canonical pure data)."""
+    return hashlib.sha256(repr(schedule).encode("utf-8")).hexdigest()
+
+
+def draw_composed_schedule(cfg: CampaignConfig, index: int) -> FaultSchedule:
+    """Draw scenario ``index``'s composed randomized schedule.
+
+    Family counts come from the dedicated ``campaign.mix`` substream;
+    the windows themselves from :func:`random_fault_schedule`'s
+    per-family ``("faults.<family>", i)`` substreams.  Everything is a
+    pure function of ``(cfg.base_seed, index)``.
+    """
+    manager = RNGManager(cfg.schedule_seed(index))
+    mix = manager.substream("campaign.mix", 0)
+    return random_fault_schedule(
+        manager,
+        horizon_ms=cfg.horizon_ms,
+        replicas=cfg.replica_hosts,
+        drop_windows=int(mix.integers(0, cfg.max_drop_windows + 1)),
+        drop_probability=cfg.drop_probability,
+        delay_windows=int(mix.integers(0, cfg.max_delay_windows + 1)),
+        duplicate_windows=int(mix.integers(0, cfg.max_duplicate_windows + 1)),
+        crash_restarts=int(mix.integers(0, cfg.max_crash_restarts + 1)),
+        churn_events=int(mix.integers(0, cfg.max_churn_events + 1)),
+        degradations=int(mix.integers(0, cfg.max_degradations + 1)),
+        overload_windows=int(mix.integers(0, cfg.max_overload_windows + 1)),
+        surge_interarrival_ms=cfg.surge_interarrival_ms,
+        partition_windows=int(mix.integers(0, cfg.max_partition_windows + 1)),
+    )
+
+
+@dataclass(frozen=True)
+class ScheduleOutcome:
+    """Everything one scenario run produced (digest-stable pure data)."""
+
+    index: int
+    scenario_seed: int
+    wire_seed: int
+    digest: str
+    submitted: int
+    replies: int
+    timeouts: int
+    sheds: int
+    reply_fraction: float
+    timely_fraction: float
+    violations: Tuple[str, ...]
+    replay: str
+
+    @property
+    def failed(self) -> bool:
+        """Whether the scenario violated an invariant or a QoS floor."""
+        return bool(self.violations)
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Merged outcome of a whole campaign."""
+
+    config: CampaignConfig
+    outcomes: Tuple[ScheduleOutcome, ...]
+    digest: str
+    workers: int
+    elapsed_s: float
+
+    @property
+    def failures(self) -> Tuple[ScheduleOutcome, ...]:
+        """The failed scenarios, in index order."""
+        return tuple(o for o in self.outcomes if o.failed)
+
+    @property
+    def clean(self) -> bool:
+        """Whether every scenario passed."""
+        return not self.failures
+
+
+class _ChaosStack:
+    """One scenario's deployment: mini AQuA stack + every fault driver."""
+
+    def __init__(
+        self,
+        cfg: CampaignConfig,
+        schedule: FaultSchedule,
+        scenario_seed: int,
+        wire_seed: int,
+        handler_cls: type = TimingFaultClientHandler,
+    ) -> None:
+        # Imported here, not at module scope: workload.scenarios itself
+        # imports the auditor, and a module-level import would close an
+        # import cycle through the faultinject package __init__.
+        from ..workload.scenarios import IntegerServant, make_interface
+
+        self.cfg = cfg
+        self.sim = Simulator()
+        self.streams = RandomStreams(seed=scenario_seed)
+        profile = LinkProfile(
+            stack_ms=1.0, per_kb_ms=0.0, per_member_ms=0.0, jitter=Constant(0.0)
+        )
+        self.lan = LanModel(self.streams, default_profile=profile)
+        self.transport = FaultyTransport(
+            Transport(self.sim, self.lan),
+            schedule=schedule,
+            streams=RNGManager(wire_seed),
+        )
+        detector = FailureDetector(
+            self.sim,
+            self.lan,
+            poll_interval_ms=10.0,
+            confirm_polls=2,
+            vantage=cfg.client_hosts[0],
+        )
+        self.group_comm = GroupCommunication(
+            self.sim,
+            self.lan,
+            self.transport,
+            notify_delay_ms=1.0,
+            failure_detector=detector,
+        )
+        marshalling = MarshallingModel(
+            base_ms=0.0, per_kb_ms=0.0, envelope_bytes=0
+        )
+        interface = make_interface(SERVICE, METHOD)
+        self.auditor = LifecycleAuditor()
+        self.auditor.set_schedule(schedule)
+        self.servers: Dict[str, TimingFaultServerHandler] = {}
+        for host in cfg.replica_hosts:
+            self.lan.add_host(host)
+            app = ReplicaApplication(
+                host=host,
+                servant=IntegerServant(interface, METHOD),
+                profile=ServiceProfile(default=Constant(cfg.service_ms)),
+                streams=self.streams,
+            )
+            server = TimingFaultServerHandler(
+                sim=self.sim,
+                app=app,
+                transport=self.transport,
+                marshalling=marshalling,
+            )
+            Gateway(host, self.sim, self.transport).load_handler(server)
+            self.group_comm.join(SERVICE, host, watch=True)
+            self.servers[host] = server
+            self.auditor.watch_server(server)
+
+        health = HealthConfig(
+            suspect_after=2,
+            quarantine_after=1,
+            recover_after=2,
+            probation_after=2,
+            backoff_initial_ms=200.0,
+            backoff_factor=2.0,
+            backoff_max_ms=1600.0,
+            unreachable_after=3,
+        )
+        self.stubs: Dict[str, Any] = {}
+        self.clients: Dict[str, TimingFaultClientHandler] = {}
+        for host in cfg.client_hosts:
+            self.lan.add_host(host)
+            client = handler_cls(
+                sim=self.sim,
+                host=host,
+                transport=self.transport,
+                group_comm=self.group_comm,
+                interface=interface,
+                qos=QoSSpec(SERVICE, cfg.deadline_ms, cfg.min_probability),
+                marshalling=marshalling,
+                selection_charge_ms=0.0,
+                rng=self.streams.stream(f"client.{host}.policy"),
+                response_timeout_factor=3.0,
+                probe_interval_ms=50.0,
+                health_config=health,
+            )
+            Gateway(host, self.sim, self.transport).load_handler(client)
+            self.auditor.watch_client(client)
+            self.clients[host] = client
+            orb = Orb()
+            orb.register_interface(interface)
+            orb.bind_interceptor(SERVICE, client)
+            self.stubs[host] = orb.stub(SERVICE)
+
+        self.lifecycle_driver = LifecycleFaultDriver(
+            sim=self.sim,
+            lan=self.lan,
+            group_comm=self.group_comm,
+            service=SERVICE,
+            servers=self.servers,
+        )
+        self.partition_driver = PartitionDriver(
+            sim=self.sim,
+            lan=self.lan,
+            group_comm=self.group_comm,
+            service=SERVICE,
+            replicas=cfg.replica_hosts,
+        )
+        self.overload_driver = OverloadDriver(
+            sim=self.sim,
+            submitters={
+                host: (
+                    lambda arg, stub=self.stubs[host]: stub.invoke(METHOD, arg)
+                )
+                for host in cfg.client_hosts
+            },
+        )
+        self.lifecycle_driver.apply(schedule)
+        self.partition_driver.apply(schedule)
+        self.overload_driver.apply(schedule)
+
+
+def _closed_loop(
+    stack: _ChaosStack, host: str, outcomes: List[Tuple[float, Any]]
+) -> Any:
+    cfg = stack.cfg
+    stub = stack.stubs[host]
+    for i in range(cfg.requests_per_client):
+        t0 = stack.sim.now
+        event = stub.invoke(METHOD, i)
+        yield event
+        if event.ok:
+            outcomes.append((t0, event.value))
+        yield stack.sim.timeout(cfg.think_ms)
+
+
+def run_scenario(
+    cfg: CampaignConfig,
+    index: int,
+    handler_cls: type = TimingFaultClientHandler,
+    schedule: Optional[FaultSchedule] = None,
+) -> ScheduleOutcome:
+    """Run scenario ``index`` of a campaign and audit it.
+
+    ``schedule`` overrides the drawn schedule (the shrinker's entry
+    point); everything else — deployment seeds, workload, floors — stays
+    exactly as the campaign would have run it.
+    """
+    # Message ids restart per scenario so every id a report mentions is a
+    # pure function of (base_seed, index) — never of which worker process
+    # (or how many earlier scenarios) produced the run.
+    reset_message_ids()
+    if schedule is None:
+        schedule = draw_composed_schedule(cfg, index)
+    digest = schedule_digest(schedule)
+    replay = cfg.replay_line(index, digest)
+    stack = _ChaosStack(
+        cfg,
+        schedule,
+        scenario_seed=cfg.scenario_seed(index),
+        wire_seed=cfg.wire_seed(index),
+        handler_cls=handler_cls,
+    )
+    stack.auditor.set_replay(replay)
+    outcomes: List[Tuple[float, Any]] = []
+    for host in cfg.client_hosts:
+        stack.sim.spawn(
+            _closed_loop(stack, host, outcomes), name=f"load.{host}"
+        )
+    stack.sim.run()
+    # Let detector polls / re-admission probes settle past the horizon so
+    # every fault window has healed before the audit, then expire probes
+    # still in flight (staleness probing never stops, so an arbitrary
+    # cutoff would otherwise race the daemon expiry timers).
+    stack.sim.run(until=max(stack.sim.now, cfg.horizon_ms * 2.0))
+    for host in cfg.client_hosts:
+        stack.clients[host].quiesce_probes()
+    report = stack.auditor.audit()
+
+    violations = list(report.violations)
+    served = report.submitted - report.sheds
+    reply_fraction = report.replies / served if served else 1.0
+    timely = [v.timely for _t0, v in outcomes if not v.shed]
+    timely_fraction = (
+        sum(timely) / len(timely) if timely else 1.0
+    )
+    if reply_fraction < cfg.min_reply_fraction:
+        violations.append(
+            f"qos floor: reply fraction {reply_fraction:.3f} < "
+            f"{cfg.min_reply_fraction} ({replay})"
+        )
+    if timely_fraction < cfg.min_timely_fraction:
+        violations.append(
+            f"qos floor: timely fraction {timely_fraction:.3f} < "
+            f"{cfg.min_timely_fraction} ({replay})"
+        )
+    return ScheduleOutcome(
+        index=index,
+        scenario_seed=cfg.scenario_seed(index),
+        wire_seed=cfg.wire_seed(index),
+        digest=digest,
+        submitted=report.submitted,
+        replies=report.replies,
+        timeouts=report.timeouts,
+        sheds=report.sheds,
+        reply_fraction=reply_fraction,
+        timely_fraction=timely_fraction,
+        violations=tuple(violations),
+        replay=replay,
+    )
+
+
+def _campaign_point(params: Any, seed: int, repetition: int) -> ScheduleOutcome:
+    """Sweep task: one scenario (module-level for worker pickling).
+
+    The sweep's derived ``seed`` is deliberately unused — every draw of a
+    scenario is a pure function of ``(cfg.base_seed, repetition)`` so the
+    standalone ``--replay`` path reproduces it without the sweep engine.
+    """
+    cfg, handler_cls = params
+    return run_scenario(cfg, repetition, handler_cls=handler_cls)
+
+
+def run_campaign(
+    cfg: CampaignConfig,
+    workers: int = 1,
+    handler_cls: type = TimingFaultClientHandler,
+) -> CampaignResult:
+    """Run the whole campaign, fanned across ``workers`` processes.
+
+    The result digest is bit-identical for any worker count (the
+    parallel engine's invariance contract).
+    """
+    from ..experiments.parallel import run_sweep
+
+    sweep = run_sweep(
+        _campaign_point,
+        points=[(cfg, handler_cls)],
+        repetitions=cfg.schedules,
+        base_seed=cfg.base_seed,
+        workers=workers,
+        stream_name="chaos.campaign",
+    )
+    outcomes = tuple(sweep.results[i].value for i in range(cfg.schedules))
+    return CampaignResult(
+        config=cfg,
+        outcomes=outcomes,
+        digest=sweep.digest(),
+        workers=sweep.workers,
+        elapsed_s=sweep.elapsed_s,
+    )
+
+
+# -- schedule minimization (delta debugging) --------------------------------
+
+def flatten_schedule(schedule: FaultSchedule) -> List[Tuple[str, Any]]:
+    """The schedule as a flat ``(family, fault)`` list, family-ordered."""
+    items: List[Tuple[str, Any]] = []
+    for family in _FAMILIES:
+        items.extend((family, fault) for fault in getattr(schedule, family))
+    return items
+
+
+def rebuild_schedule(items: Sequence[Tuple[str, Any]]) -> FaultSchedule:
+    """Reassemble a :class:`FaultSchedule` from ``flatten_schedule`` items."""
+    grouped: Dict[str, List[Any]] = {family: [] for family in _FAMILIES}
+    for family, fault in items:
+        grouped[family].append(fault)
+    return FaultSchedule(
+        **{family: tuple(grouped[family]) for family in _FAMILIES}
+    )
+
+
+def shrink_schedule(
+    schedule: FaultSchedule,
+    fails: Callable[[FaultSchedule], bool],
+    max_probes: int = 512,
+) -> FaultSchedule:
+    """Minimize ``schedule`` to a 1-minimal failing subset (ddmin).
+
+    ``fails(candidate)`` must rerun the scenario under ``candidate`` and
+    report whether the failure still reproduces; it is assumed
+    deterministic (the campaign's seed discipline guarantees that).  The
+    returned schedule still fails, and removing any single remaining
+    fault makes it pass (1-minimality), which is exactly the "minimal
+    reproducer" the failure report should point at.  ``max_probes``
+    bounds the rerun budget for pathological schedules.
+    """
+    items = flatten_schedule(schedule)
+    if not fails(rebuild_schedule(items)):
+        raise ValueError("schedule does not fail; nothing to shrink")
+    probes = 0
+    granularity = 2
+    while len(items) >= 2 and probes < max_probes:
+        chunk = max(1, -(-len(items) // granularity))  # ceil division
+        reduced = False
+        # Try each chunk alone, then each complement.
+        for start in range(0, len(items), chunk):
+            subset = items[start:start + chunk]
+            if len(subset) == len(items):
+                continue
+            probes += 1
+            if fails(rebuild_schedule(subset)):
+                items = subset
+                granularity = 2
+                reduced = True
+                break
+        if not reduced:
+            for start in range(0, len(items), chunk):
+                complement = items[:start] + items[start + chunk:]
+                if len(complement) == len(items):
+                    continue
+                probes += 1
+                if fails(rebuild_schedule(complement)):
+                    items = complement
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+        if not reduced:
+            if chunk <= 1:
+                break
+            granularity = min(len(items), granularity * 2)
+    return rebuild_schedule(items)

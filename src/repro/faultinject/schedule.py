@@ -11,12 +11,15 @@ plus the crash and churn behaviours of §5.3.2):
 * **crash + restart** (:class:`CrashRestartFault`) — fail-stop replicas,
   optionally coming back as a fresh incarnation,
 * **view churn** (:class:`ChurnFault`) — graceful leaves/rejoins that
-  reshape the membership view under traffic.
+  reshape the membership view under traffic,
+* **network partitions** (:class:`~repro.faultinject.partition.PartitionFault`)
+  — split-brain, one-way and grey connectivity cuts.
 
 Rules are pure data; :class:`~repro.faultinject.transport.FaultyTransport`
-interprets the message-level rules and
+interprets the message-level rules,
 :class:`~repro.faultinject.drivers.LifecycleFaultDriver` the host-level
-ones.  :func:`random_fault_schedule` draws a randomized schedule from a
+ones and :class:`~repro.faultinject.partition.PartitionDriver` the
+connectivity cuts.  :func:`random_fault_schedule` draws a randomized schedule from a
 ``numpy`` generator — the workhorse of the ``tests/faults`` suite.
 """
 
@@ -29,6 +32,7 @@ import numpy as np
 
 from ..net.message import Message
 from ..rng import RNGManager
+from .partition import PROBE_EXEMPT_KINDS, PartitionFault
 
 __all__ = [
     "DropRule",
@@ -38,6 +42,7 @@ __all__ = [
     "ChurnFault",
     "DegradationFault",
     "OverloadFault",
+    "PartitionFault",
     "FaultSchedule",
     "random_fault_schedule",
 ]
@@ -246,6 +251,7 @@ class FaultSchedule:
     churn: Tuple[ChurnFault, ...] = ()
     degradations: Tuple[DegradationFault, ...] = ()
     overloads: Tuple[OverloadFault, ...] = ()
+    partitions: Tuple[PartitionFault, ...] = ()
 
     def merged(self, other: "FaultSchedule") -> "FaultSchedule":
         """Union of two schedules (composable scenarios)."""
@@ -257,6 +263,7 @@ class FaultSchedule:
             churn=self.churn + other.churn,
             degradations=self.degradations + other.degradations,
             overloads=self.overloads + other.overloads,
+            partitions=self.partitions + other.partitions,
         )
 
     def __len__(self) -> int:
@@ -268,7 +275,26 @@ class FaultSchedule:
             + len(self.churn)
             + len(self.degradations)
             + len(self.overloads)
+            + len(self.partitions)
         )
+
+    def __repr__(self) -> str:
+        # Hand-rolled to stay byte-identical with the pre-partition
+        # dataclass repr when the partition family is empty: the frozen
+        # legacy schedule digests (tests/faults/test_schedule_streams.py)
+        # are sha256 over this repr.
+        fields = [
+            f"drops={self.drops!r}",
+            f"delays={self.delays!r}",
+            f"duplicates={self.duplicates!r}",
+            f"crashes={self.crashes!r}",
+            f"churn={self.churn!r}",
+            f"degradations={self.degradations!r}",
+            f"overloads={self.overloads!r}",
+        ]
+        if self.partitions:
+            fields.append(f"partitions={self.partitions!r}")
+        return f"FaultSchedule({', '.join(fields)})"
 
 
 def _draw_window(
@@ -304,6 +330,40 @@ def _draw_host_window(
     return host, at, back_at
 
 
+def _draw_partition(
+    rng: np.random.Generator,
+    replicas: Sequence[str],
+    horizon_ms: float,
+    window_fraction: float,
+    flap_probability: float,
+    grey_probability: float,
+) -> PartitionFault:
+    # One randomized cut: a replica subset goes dark from everyone else.
+    # Drained window — every cut heals by 85% of the horizon.
+    start, end = _draw_drained_window(rng, horizon_ms, window_fraction)
+    pool = list(replicas)
+    size = int(rng.integers(1, max(2, len(pool) // 2 + 1)))
+    side = tuple(
+        str(h) for h in rng.choice(pool, size=size, replace=False)
+    )
+    modes = ("symmetric", "outbound", "inbound")
+    mode = modes[int(rng.integers(0, 3))]
+    flap_period: Optional[float] = None
+    if rng.random() < flap_probability:
+        flap_period = float(
+            rng.uniform(horizon_ms * 0.02, horizon_ms * 0.08)
+        )
+    exempt = PROBE_EXEMPT_KINDS if rng.random() < grey_probability else ()
+    return PartitionFault(
+        side=side,
+        start_ms=start,
+        end_ms=end,
+        mode=mode,
+        flap_period_ms=flap_period,
+        exempt_kinds=exempt,
+    )
+
+
 def random_fault_schedule(
     rng: Union[np.random.Generator, RNGManager],
     horizon_ms: float,
@@ -323,6 +383,9 @@ def random_fault_schedule(
     degradation_omission_probability: float = 0.7,
     overload_windows: int = 0,
     surge_interarrival_ms: float = 5.0,
+    partition_windows: int = 0,
+    partition_flap_probability: float = 0.25,
+    partition_grey_probability: float = 0.2,
 ) -> FaultSchedule:
     """Draw a randomized schedule over ``[0, horizon_ms)``.
 
@@ -437,6 +500,19 @@ def random_fault_schedule(
                     surge_interarrival_ms=surge_interarrival_ms,
                 )
             )
+        partitions = []
+        for i in range(partition_windows):
+            g = rng.substream("faults.partition", i)
+            partitions.append(
+                _draw_partition(
+                    g,
+                    replicas,
+                    horizon_ms,
+                    window_fraction,
+                    partition_flap_probability,
+                    partition_grey_probability,
+                )
+            )
         return FaultSchedule(
             drops=tuple(drops),
             delays=tuple(delays),
@@ -445,6 +521,7 @@ def random_fault_schedule(
             churn=tuple(churn),
             degradations=tuple(degraded),
             overloads=tuple(overloads),
+            partitions=tuple(partitions),
         )
 
     # Legacy sequential path: one generator, fixed family order.  Frozen;
@@ -520,6 +597,20 @@ def random_fault_schedule(
                 surge_interarrival_ms=surge_interarrival_ms,
             )
         )
+    partitions = []
+    # Newest family, appended after every other so partition_windows=0
+    # keeps historic schedules byte-identical.
+    for _ in range(partition_windows):
+        partitions.append(
+            _draw_partition(
+                rng,
+                replicas,
+                horizon_ms,
+                window_fraction,
+                partition_flap_probability,
+                partition_grey_probability,
+            )
+        )
     return FaultSchedule(
         drops=tuple(drops),
         delays=tuple(delays),
@@ -528,4 +619,5 @@ def random_fault_schedule(
         churn=tuple(churn),
         degradations=tuple(degraded),
         overloads=tuple(overloads),
+        partitions=tuple(partitions),
     )

@@ -79,6 +79,7 @@ class FaultyTransport:
         self.injected_delays = 0
         self.injected_duplicates = 0
         self.injected_degradation_drops = 0
+        self.injected_partition_drops = 0
 
     # -- wiring (delegated) ----------------------------------------------------
     def bind(self, host_name: str, receiver: Receiver) -> None:
@@ -117,6 +118,23 @@ class FaultyTransport:
         fault injection.
         """
         now = self.sim.now
+        # Partitions outrank every message-level rule: traffic that
+        # cannot cross the cut is lost before drops/delays/duplicates
+        # get a say.  Lossy partitions (drop_probability < 1) draw from
+        # the wire stream; total cuts stay draw-free so adding a clean
+        # blackout never perturbs the other injection draws.
+        for fault in self.schedule.partitions:
+            if fault.severs(now, message) and (
+                fault.drop_probability >= 1.0
+                or self.rng.random() < fault.drop_probability
+            ):
+                self.injected_partition_drops += 1
+                self.tracer.emit(
+                    now, "faultinject", "fault.partition-drop",
+                    mode=fault.mode, **message.describe(),
+                )
+                return 0.0
+
         for rule in self.schedule.drops:
             if rule.matches(now, message) and (
                 rule.probability >= 1.0 or self.rng.random() < rule.probability

@@ -214,10 +214,25 @@ class RetransmittingClientHandler(TimingFaultClientHandler):
             usable = {r for r in live if not self.health.is_quarantined(r)}
             if usable:  # all-quarantined: fall through with the full view
                 live = usable
-        candidates = [r for r in ranking if r in live and r not in tried]
+        # Replicas billed as silent this round are the likely dark side of
+        # a partition: retransmitting into them resurrects traffic a cut
+        # already killed.  Prefer fresh targets, then responsive retried
+        # ones; if every live replica is known-silent, skip this attempt
+        # (the chain stays armed — a heal makes them eligible again).
+        silent = pending.faulted
+        candidates = [
+            r for r in ranking
+            if r in live and r not in tried and r not in silent
+        ]
         if not candidates:
-            candidates = [r for r in ranking if r in live]
+            candidates = [r for r in ranking if r in live and r not in silent]
         if not candidates:
+            if any(r in live for r in ranking):
+                # Every live replica is known-silent: skip the attempt
+                # rather than pour copies into the dark side, but keep
+                # the chain armed — a reply that sneaks through after a
+                # heal still completes the request normally.
+                self._arm_retry(msg_id, call, ranking, tried, attempt + 1)
             return
         target = candidates[0]
         tried.append(target)

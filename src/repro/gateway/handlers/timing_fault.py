@@ -1152,6 +1152,18 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
             self.sim.now, f"client.{self.host}", "client.probe", replica=replica
         )
 
+    def quiesce_probes(self) -> None:
+        """Expire every in-flight probe through the normal expiry path.
+
+        Probe expiry is daemon work (a lost probe must not keep the
+        simulation alive), so a finite-horizon run can stop with probes
+        still in flight.  Drain-time audits call this before auditing:
+        it applies exactly the bookkeeping the expiry timers would have,
+        just without waiting out the probe interval.
+        """
+        for msg_id in sorted(self._probes_in_flight):
+            self._expire_probe(msg_id)
+
     def _expire_probe(self, msg_id: int) -> None:
         entry = self._probes_in_flight.pop(msg_id, None)
         if entry is None:

@@ -34,6 +34,12 @@ class FailureDetector:
     confirm_polls:
         Consecutive "down" samples required before declaring a crash
         (guards against transient unreachability).
+    vantage:
+        Optional host the detector observes *from*.  With a vantage set,
+        a watched host severed from it (in either direction — probes out
+        or replies back) samples as down, so partitions produce the same
+        eviction path as crashes.  ``None`` (the default) keeps the
+        legacy oracle behaviour: only ``lan.is_up`` matters.
     """
 
     def __init__(
@@ -43,6 +49,7 @@ class FailureDetector:
         poll_interval_ms: float = 50.0,
         confirm_polls: int = 2,
         tracer: Optional[Tracer] = None,
+        vantage: Optional[str] = None,
     ) -> None:
         if poll_interval_ms <= 0:
             raise ValueError(f"poll_interval_ms must be > 0, got {poll_interval_ms}")
@@ -52,6 +59,7 @@ class FailureDetector:
         self.lan = lan
         self.poll_interval_ms = float(poll_interval_ms)
         self.confirm_polls = int(confirm_polls)
+        self.vantage = vantage
         self.tracer = tracer if tracer is not None else NullTracer()
         self._listeners: List[CrashListener] = []
         self._watched: Dict[str, int] = {}  # host -> consecutive down samples
@@ -67,6 +75,11 @@ class FailureDetector:
         """Start monitoring ``host_name`` (idempotent)."""
         self.lan.host(host_name)  # validate
         if host_name in self._watched:
+            # A re-watch (member rejoin) is a fresh sighting: suspicion
+            # accumulated before a partition cut must not carry across
+            # it, or the next blip confirms a "crash" in fewer polls
+            # than the detector promises.
+            self._watched[host_name] = 0
             return
         self._watched[host_name] = 0
         self.sim.call_in(
@@ -105,15 +118,38 @@ class FailureDetector:
 
     def forget(self, host_name: str) -> None:
         """Clear a crash declaration (call when the host recovers)."""
+        self.sight(host_name)
+
+    def sight(self, host_name: str) -> None:
+        """Register a fresh sighting of ``host_name``.
+
+        A heal after a partition (or any other positive liveness
+        evidence from outside the poll loop) clears both the crash
+        declaration and the consecutive-down count: suspicion gathered
+        before the cut must not survive it.
+        """
         self._declared.pop(host_name, None)
         if host_name in self._watched:
             self._watched[host_name] = 0
+
+    def _observes_up(self, host_name: str) -> bool:
+        """One liveness sample: up, and reachable from the vantage point
+        in both directions (a one-way cut kills either the probe or its
+        answer — the detector cannot tell which, only that it saw
+        nothing)."""
+        if not self.lan.is_up(host_name):
+            return False
+        if self.vantage is None or self.vantage == host_name:
+            return True
+        return self.lan.reachable(
+            self.vantage, host_name
+        ) and self.lan.reachable(host_name, self.vantage)
 
     # -- engine ------------------------------------------------------------
     def _poll(self, host_name: str) -> None:
         if host_name not in self._watched:
             return  # unwatched in the meantime
-        if self.lan.is_up(host_name):
+        if self._observes_up(host_name):
             self._watched[host_name] = 0
             if host_name in self._declared:
                 # Recovered without an explicit forget(); treat as rejoin.

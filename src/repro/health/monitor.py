@@ -42,6 +42,9 @@ class ReplicaHealth:
     state: HealthState = HealthState.HEALTHY
     consecutive_faults: int = 0
     consecutive_successes: int = 0
+    #: Consecutive reply-loss faults (omission / probe-failure) with no
+    #: intervening contact of any kind — the unreachability evidence.
+    consecutive_omissions: int = 0
     faults_total: int = 0
     successes_total: int = 0
     quarantine_count: int = 0
@@ -165,6 +168,7 @@ class HealthMonitor:
             return
         record.successes_total += 1
         record.consecutive_faults = 0
+        record.consecutive_omissions = 0
         record.consecutive_successes += 1
         if (
             record.state is HealthState.SUSPECTED
@@ -192,6 +196,21 @@ class HealthMonitor:
         record.consecutive_successes = 0
         record.consecutive_faults += 1
         record.last_fault_kind = kind
+        if kind in ("omission", "probe-failure"):
+            record.consecutive_omissions += 1
+        else:
+            # A late reply (or a crash declaration's synthetic fault) is
+            # still *contact* — the replica is slow, not unreachable.
+            record.consecutive_omissions = 0
+        if (
+            self.config.unreachable_after is not None
+            and record.consecutive_omissions >= self.config.unreachable_after
+            and record.state is not HealthState.QUARANTINED
+        ):
+            # Total silence: quarantine on reply-loss evidence alone,
+            # without waiting out the SUSPECTED demotion ladder.
+            self._quarantine(record, now_ms, "unreachable")
+            return
         if (
             record.state is HealthState.HEALTHY
             and record.consecutive_faults >= self.config.suspect_after
@@ -222,6 +241,9 @@ class HealthMonitor:
         record = self._replicas.get(name)
         if record is None:
             return
+        # Liveness contact in any state: a replica that answers probes is
+        # grey (slow), not unreachable — the streak must not accumulate.
+        record.consecutive_omissions = 0
         if record.state is HealthState.QUARANTINED:
             self._enter_probation(record, now_ms, "probe-success")
         elif record.state is HealthState.PROBATION:

@@ -102,6 +102,14 @@ class HealthConfig:
         Default quantile of the predicted ``R_i`` pmf used for the
         adaptive response timeout when the handler does not set its own
         (``None`` disables the adaptive timeout even with health on).
+    unreachable_after:
+        Consecutive *reply-loss* faults (omissions and probe failures —
+        never timing faults, a late reply is still contact) that
+        quarantine a replica directly with reason ``"unreachable"``,
+        skipping SUSPECTED.  Distinguishes a partitioned replica from a
+        merely slow one: grey failures keep answering probes, which
+        resets the streak, so only true silence takes the fast path.
+        ``None`` (the default) disables the shortcut.
     """
 
     suspect_after: int = 2
@@ -114,6 +122,7 @@ class HealthConfig:
     backoff_factor: float = 2.0
     backoff_max_ms: float = 30_000.0
     adaptive_timeout_quantile: Optional[float] = 0.99
+    unreachable_after: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.suspect_after < 1:
@@ -157,4 +166,8 @@ class HealthConfig:
             raise ValueError(
                 "adaptive_timeout_quantile must be in (0, 1], got "
                 f"{self.adaptive_timeout_quantile}"
+            )
+        if self.unreachable_after is not None and self.unreachable_after < 1:
+            raise ValueError(
+                f"unreachable_after must be >= 1, got {self.unreachable_after}"
             )

@@ -114,6 +114,10 @@ class LanModel:
         self.default_profile = default_profile or LinkProfile()
         self._hosts: Dict[str, Host] = {}
         self._profiles: Dict[Tuple[str, str], LinkProfile] = {}
+        # Severed ordered pairs -> severance count.  Reference-counted so
+        # overlapping partitions compose: a link stays dead until every
+        # cut covering it has healed (repro.faultinject.partition).
+        self._severed: Dict[Tuple[str, str], int] = {}
         # LAN-wide correlated congestion (e.g. a shared switch): one
         # distribution sampled from a single stream for EVERY message,
         # so simultaneous transfers see correlated extra delay.  Breaks
@@ -167,6 +171,35 @@ class LanModel:
     def is_up(self, name: str) -> bool:
         """Whether the host is currently up."""
         return self.host(name).up
+
+    # -- connectivity --------------------------------------------------------
+    def sever_link(self, src: str, dst: str) -> None:
+        """Cut the ordered link ``src`` → ``dst`` (reference-counted)."""
+        self.host(src)
+        self.host(dst)
+        key = (src, dst)
+        self._severed[key] = self._severed.get(key, 0) + 1
+
+    def heal_link(self, src: str, dst: str) -> None:
+        """Undo one severance of ``src`` → ``dst`` (idempotent at zero)."""
+        key = (src, dst)
+        count = self._severed.get(key, 0)
+        if count <= 1:
+            self._severed.pop(key, None)
+        else:
+            self._severed[key] = count - 1
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """Whether traffic ``src`` → ``dst`` can currently cross the LAN.
+
+        Unknown hosts are considered reachable — connectivity only ever
+        *narrows* what an up, registered pair could do.
+        """
+        return (src, dst) not in self._severed
+
+    def severed_links(self) -> List[Tuple[str, str]]:
+        """Every currently severed ordered pair (sorted)."""
+        return sorted(self._severed)
 
     # -- latency -----------------------------------------------------------
     def one_way_delay(

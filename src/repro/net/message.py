@@ -13,7 +13,7 @@ import itertools
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Tuple
 
-__all__ = ["Message", "next_message_id"]
+__all__ = ["Message", "next_message_id", "reset_message_ids"]
 
 _message_counter = itertools.count(1)
 
@@ -21,6 +21,18 @@ _message_counter = itertools.count(1)
 def next_message_id() -> int:
     """Process-wide unique message identifier."""
     return next(_message_counter)
+
+
+def reset_message_ids() -> None:
+    """Restart the msg_id sequence from 1.
+
+    Message ids only need to be unique within one simulation; batch
+    runners (the chaos campaign) reset between scenarios so any id that
+    surfaces in a report is independent of which process — and how many
+    prior scenarios — produced it.
+    """
+    global _message_counter
+    _message_counter = itertools.count(1)
 
 
 @dataclass(frozen=True, slots=True)

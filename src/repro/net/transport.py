@@ -114,6 +114,15 @@ class Transport:
             size_bytes=message.size_bytes,
             group_size=group_size,
         )
+        if not self.lan.reachable(message.sender, message.destination):
+            # The link is severed by a partition: nothing crosses, not
+            # even copies a fault injector scheduled before the cut.
+            self.lost_count += 1
+            self.tracer.emit(
+                self.sim.now, "transport", "net.partitioned",
+                **message.describe(),
+            )
+            return delay
         if self.lan.should_drop(message.sender, message.destination):
             # Omission fault: the message vanishes in transit.
             self.lost_count += 1

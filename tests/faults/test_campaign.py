@@ -1,0 +1,287 @@
+"""The chaos-campaign engine (ISSUE 9 tentpole, experiment A17).
+
+Four contracts:
+
+* **seed discipline** — every scenario (schedule, deployment, wire
+  draws) is a pure function of ``(base_seed, index)``, so outcomes are
+  deterministic and the campaign digest is bit-identical for any worker
+  count;
+* **auditing** — a campaign over composed randomized schedules checks
+  lifecycle invariants plus QoS floors, and failures carry a one-line
+  replay recipe;
+* **minimization** — ``shrink_schedule`` is classic ddmin: the result
+  still fails and is 1-minimal;
+* **bug capture** — a deliberately seeded lifecycle bug (a client that
+  leaks its pending record on timeout) is caught by the campaign and
+  shrunk to a handful of fault windows.
+"""
+
+from typing import Optional
+
+import pytest
+
+from repro.faultinject.campaign import (
+    CampaignConfig,
+    draw_composed_schedule,
+    flatten_schedule,
+    rebuild_schedule,
+    run_campaign,
+    run_scenario,
+    schedule_digest,
+    shrink_schedule,
+)
+from repro.faultinject.schedule import (
+    DelayRule,
+    DropRule,
+    FaultSchedule,
+    PartitionFault,
+)
+from repro.experiments import chaos_campaign
+from repro.gateway.handlers.timing_fault import TimingFaultClientHandler
+
+#: Small-but-composed campaign used across the tests (seconds, not
+#: minutes; the full 200-schedule campaign is experiment A17).
+SMALL = CampaignConfig(schedules=8, base_seed=0)
+
+
+class LeakyTimeoutClient(TimingFaultClientHandler):
+    """Deliberately buggy client: timeout expiry leaks the request record.
+
+    ``_expire`` pops the pending record and completes it; this subclass
+    puts the record back afterwards, so any request that *times out* (a
+    replica addressed under a partition, crash or drop window never
+    replies) stays in ``_pending`` forever.  Clean scenarios never
+    trigger it — the record is already forgotten by reply time — which
+    is exactly what makes it a good seeded bug: only the campaign's
+    fault schedules expose it, and only via the auditor's leak invariant.
+    """
+
+    def _expire(self, msg_id: int) -> None:
+        pending = self._pending.get(msg_id)
+        super()._expire(msg_id)
+        if pending is not None and msg_id not in self._pending:
+            self._pending[msg_id] = pending
+
+
+class TestCampaignConfig:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError, match="schedules"):
+            CampaignConfig(schedules=0)
+        with pytest.raises(ValueError, match="replicas"):
+            CampaignConfig(replicas=1)
+        with pytest.raises(ValueError, match="clients"):
+            CampaignConfig(clients=0)
+        with pytest.raises(ValueError, match="horizon_ms"):
+            CampaignConfig(horizon_ms=0.0)
+
+    def test_deployment_host_names(self):
+        cfg = CampaignConfig(replicas=3, clients=2)
+        assert cfg.replica_hosts == ("s-1", "s-2", "s-3")
+        assert cfg.client_hosts == ("client-1", "client-2")
+
+    def test_scenario_seeds_differ_per_index_and_purpose(self):
+        cfg = SMALL
+        seeds = {
+            cfg.scenario_seed(0), cfg.scenario_seed(1),
+            cfg.wire_seed(0), cfg.wire_seed(1),
+            cfg.schedule_seed(0), cfg.schedule_seed(1),
+        }
+        assert len(seeds) == 6
+
+    def test_replay_line_is_the_cli_recipe(self):
+        line = CampaignConfig(base_seed=9).replay_line(4, "abcdef0123456789")
+        assert line == (
+            "python -m repro.experiments.chaos_campaign "
+            "--replay 9:4:abcdef012345"
+        )
+
+
+class TestComposedSchedules:
+    def test_drawing_is_deterministic(self):
+        assert draw_composed_schedule(SMALL, 3) == draw_composed_schedule(
+            SMALL, 3
+        )
+
+    def test_indices_draw_distinct_schedules(self):
+        digests = {
+            schedule_digest(draw_composed_schedule(SMALL, i))
+            for i in range(8)
+        }
+        assert len(digests) == 8
+
+    @pytest.mark.parametrize("index", range(8))
+    def test_family_counts_respect_the_config_bounds(self, index):
+        cfg = SMALL
+        schedule = draw_composed_schedule(cfg, index)
+        assert len(schedule.drops) <= cfg.max_drop_windows
+        assert len(schedule.delays) <= cfg.max_delay_windows
+        assert len(schedule.duplicates) <= cfg.max_duplicate_windows
+        assert len(schedule.crashes) <= cfg.max_crash_restarts
+        assert len(schedule.churn) <= cfg.max_churn_events
+        assert len(schedule.degradations) <= cfg.max_degradations
+        assert len(schedule.overloads) <= cfg.max_overload_windows
+        assert len(schedule.partitions) <= cfg.max_partition_windows
+
+    def test_some_scenario_draws_a_partition(self):
+        # The composed mix must actually exercise the new family.
+        assert any(
+            draw_composed_schedule(SMALL, i).partitions for i in range(8)
+        )
+
+    @pytest.mark.parametrize("index", range(4))
+    def test_flatten_rebuild_round_trip(self, index):
+        schedule = draw_composed_schedule(SMALL, index)
+        assert rebuild_schedule(flatten_schedule(schedule)) == schedule
+
+
+class TestScenarioRuns:
+    def test_scenario_is_deterministic(self):
+        assert run_scenario(SMALL, 5) == run_scenario(SMALL, 5)
+
+    def test_outcome_carries_the_replay_recipe(self):
+        outcome = run_scenario(SMALL, 2)
+        assert outcome.replay.startswith(
+            "python -m repro.experiments.chaos_campaign --replay 0:2:"
+        )
+        assert outcome.digest.startswith(outcome.replay.rsplit(":", 1)[-1])
+
+    def test_schedule_override_is_the_shrinker_entry_point(self):
+        outcome = run_scenario(SMALL, 0, schedule=FaultSchedule())
+        assert outcome.digest == schedule_digest(FaultSchedule())
+        assert not outcome.failed
+        assert outcome.replies == outcome.submitted
+
+
+class TestCampaign:
+    def test_small_campaign_is_clean_and_digest_stable(self):
+        one = run_campaign(SMALL, workers=1)
+        assert one.clean
+        assert len(one.outcomes) == SMALL.schedules
+        assert [o.index for o in one.outcomes] == list(range(SMALL.schedules))
+        again = run_campaign(SMALL, workers=1)
+        assert again.digest == one.digest
+
+    def test_digest_is_worker_count_invariant(self):
+        # The acceptance contract: 1-vs-N worker bit-identical merge.
+        serial = run_campaign(SMALL, workers=1)
+        fanned = run_campaign(SMALL, workers=2)
+        assert fanned.workers == 2
+        assert fanned.digest == serial.digest
+        assert fanned.outcomes == serial.outcomes
+
+
+def _failing_predicate(wanted):
+    """A predicate failing iff every schedule in ``wanted`` is present."""
+
+    def fails(candidate: FaultSchedule) -> bool:
+        present = set(flatten_schedule(candidate))
+        return wanted <= present
+
+    return fails
+
+
+class TestShrinker:
+    DROP = DropRule(start_ms=10.0, end_ms=20.0)
+    DELAY = DelayRule(start_ms=30.0, end_ms=40.0, extra_ms=5.0)
+    CUT = PartitionFault(side=("s-1",), start_ms=50.0, end_ms=60.0)
+
+    def _noise(self) -> FaultSchedule:
+        return FaultSchedule(
+            drops=(
+                self.DROP,
+                DropRule(start_ms=100.0, end_ms=110.0),
+                DropRule(start_ms=200.0, end_ms=210.0),
+            ),
+            delays=(self.DELAY,),
+            partitions=(
+                self.CUT,
+                PartitionFault(side=("s-2",), start_ms=70.0, end_ms=80.0),
+            ),
+        )
+
+    def test_refuses_a_passing_schedule(self):
+        with pytest.raises(ValueError, match="does not fail"):
+            shrink_schedule(self._noise(), lambda candidate: False)
+
+    def test_shrinks_to_the_exact_failure_inducing_subset(self):
+        wanted = {("drops", self.DROP), ("partitions", self.CUT)}
+        minimal = shrink_schedule(self._noise(), _failing_predicate(wanted))
+        assert set(flatten_schedule(minimal)) == wanted
+
+    def test_result_is_one_minimal(self):
+        wanted = {
+            ("drops", self.DROP),
+            ("delays", self.DELAY),
+            ("partitions", self.CUT),
+        }
+        fails = _failing_predicate(wanted)
+        minimal = shrink_schedule(self._noise(), fails)
+        items = flatten_schedule(minimal)
+        assert fails(minimal)
+        for leave_out in range(len(items)):
+            thinner = items[:leave_out] + items[leave_out + 1:]
+            assert not fails(rebuild_schedule(thinner))
+
+
+def _first_leaky_failure(cfg: CampaignConfig) -> Optional[int]:
+    """Index of the first scenario the seeded bug fails, else ``None``."""
+    for index in range(cfg.schedules):
+        outcome = run_scenario(cfg, index, handler_cls=LeakyTimeoutClient)
+        if any("leaked pending" in v for v in outcome.violations):
+            return index
+    return None
+
+
+class TestSeededBugCapture:
+    """End-to-end acceptance: the campaign catches and shrinks a real bug."""
+
+    def test_campaign_catches_the_leak_and_shrinks_it(self):
+        cfg = SMALL
+        index = _first_leaky_failure(cfg)
+        assert index is not None, "no scenario tripped the seeded bug"
+        outcome = run_scenario(cfg, index, handler_cls=LeakyTimeoutClient)
+        assert outcome.failed
+        assert "--replay" in outcome.replay
+        # The same schedules are clean under the correct client: the
+        # failures are the bug's, not the campaign's.
+        assert not run_scenario(cfg, index).failed
+
+        def fails(candidate: FaultSchedule) -> bool:
+            rerun = run_scenario(
+                cfg, index, handler_cls=LeakyTimeoutClient, schedule=candidate
+            )
+            return any("leaked pending" in v for v in rerun.violations)
+
+        drawn = draw_composed_schedule(cfg, index)
+        minimal = shrink_schedule(drawn, fails)
+        remaining = flatten_schedule(minimal)
+        assert len(remaining) <= 3
+        assert len(remaining) < len(flatten_schedule(drawn))
+        assert fails(minimal)
+
+
+class TestCli:
+    def test_replay_of_a_clean_scenario_exits_zero(self, capsys):
+        assert chaos_campaign.main(["--replay", "0:3"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule #3" in out
+        assert "nothing to shrink" in out
+
+    def test_replay_digest_mismatch_exits_nonzero(self, capsys):
+        assert chaos_campaign.main(["--replay", "0:3:000000000000"]) == 1
+        assert "digest mismatch" in capsys.readouterr().out
+
+    def test_campaign_cli_writes_the_json_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "campaign.json"
+        code = chaos_campaign.main(
+            ["--schedules", "4", "--json", str(artifact)]
+        )
+        assert code == 0
+        import json
+
+        payload = json.loads(artifact.read_text())
+        assert len(payload["schedules"]) == 4
+        assert payload["digest"]
+        assert all(
+            s["replay"].startswith("python -m") for s in payload["schedules"]
+        )

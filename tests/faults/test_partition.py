@@ -1,0 +1,566 @@
+"""The partition fault family: rules, wire enforcement, and the driver.
+
+Covers the three enforcement layers of ISSUE 9's fault plane:
+
+* :class:`PartitionFault` as pure data — validation, activity windows
+  (including flapping duty cycles), crossing/severing semantics for all
+  three modes, and the ``lan_visible`` / ``blackout`` classification;
+* wire-level enforcement — the reference-counted severed-pair map of
+  :class:`LanModel`, the :class:`Transport` partition check that kills
+  delayed/duplicated copies, and :class:`FaultyTransport`'s per-message
+  interpretation (grey exemptions, lossy cuts, draw-free total cuts);
+* :class:`PartitionDriver` — mirroring blackout cuts into the LAN,
+  failure-detector eviction from a vantage host, and the heal-time
+  reconciliation that re-sights and rejoins partitioned replicas.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faultinject import (
+    FaultSchedule,
+    FaultyTransport,
+    PartitionDriver,
+    PartitionFault,
+    PROBE_EXEMPT_KINDS,
+    grey_partition,
+)
+from repro.gateway.handlers.timing_fault import MSG_PROBE
+from repro.group.ensemble import GroupCommunication
+from repro.group.failure_detector import FailureDetector
+from repro.net.message import Message
+from repro.sim.random import Constant
+
+from .conftest import SERVICE, FaultStack
+
+
+def _msg(src="client-1", dst="server-1", kind="request"):
+    return Message(sender=src, destination=dst, kind=kind)
+
+
+class TestPartitionFaultValidation:
+    def test_needs_a_dark_side(self):
+        with pytest.raises(ValueError):
+            PartitionFault(side=(), start_ms=0.0, end_ms=10.0)
+
+    def test_window_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            PartitionFault(side=("a",), start_ms=10.0, end_ms=10.0)
+        with pytest.raises(ValueError):
+            PartitionFault(side=("a",), start_ms=-1.0, end_ms=10.0)
+
+    def test_side_and_far_must_be_disjoint(self):
+        with pytest.raises(ValueError):
+            PartitionFault(
+                side=("a", "b"), far=("b",), start_ms=0.0, end_ms=10.0
+            )
+
+    def test_mode_is_closed_set(self):
+        with pytest.raises(ValueError):
+            PartitionFault(
+                side=("a",), start_ms=0.0, end_ms=10.0, mode="sideways"
+            )
+
+    def test_drop_probability_bounds(self):
+        with pytest.raises(ValueError):
+            PartitionFault(
+                side=("a",), start_ms=0.0, end_ms=10.0, drop_probability=0.0
+            )
+        with pytest.raises(ValueError):
+            PartitionFault(
+                side=("a",), start_ms=0.0, end_ms=10.0, drop_probability=1.5
+            )
+
+    def test_flap_parameters_validated(self):
+        with pytest.raises(ValueError):
+            PartitionFault(
+                side=("a",), start_ms=0.0, end_ms=10.0, flap_period_ms=0.0
+            )
+        with pytest.raises(ValueError):
+            PartitionFault(
+                side=("a",), start_ms=0.0, end_ms=10.0, flap_duty=0.0
+            )
+
+
+class TestActivityAndIntervals:
+    def test_steady_cut_active_over_half_open_window(self):
+        fault = PartitionFault(side=("a",), start_ms=10.0, end_ms=20.0)
+        assert not fault.active(9.9)
+        assert fault.active(10.0)
+        assert fault.active(19.9)
+        assert not fault.active(20.0)
+        assert fault.cut_intervals() == [(10.0, 20.0)]
+
+    def test_flapping_cut_follows_the_duty_cycle(self):
+        fault = PartitionFault(
+            side=("a",),
+            start_ms=100.0,
+            end_ms=140.0,
+            flap_period_ms=20.0,
+            flap_duty=0.5,
+        )
+        # Cycle 1: cut for [100, 110), healed [110, 120); cycle 2 likewise.
+        assert fault.active(105.0)
+        assert not fault.active(115.0)
+        assert fault.active(125.0)
+        assert not fault.active(135.0)
+        assert fault.cut_intervals() == [(100.0, 110.0), (120.0, 130.0)]
+
+    def test_flap_intervals_never_outlive_the_window(self):
+        fault = PartitionFault(
+            side=("a",),
+            start_ms=0.0,
+            end_ms=25.0,
+            flap_period_ms=20.0,
+            flap_duty=0.5,
+        )
+        intervals = fault.cut_intervals()
+        assert intervals == [(0.0, 10.0), (20.0, 25.0)]
+        assert all(heal <= fault.end_ms for _cut, heal in intervals)
+
+
+class TestSeveringSemantics:
+    def test_symmetric_cut_kills_both_directions(self):
+        fault = PartitionFault(side=("s-1",), start_ms=0.0, end_ms=100.0)
+        assert fault.severs(50.0, _msg("s-1", "client-1"))
+        assert fault.severs(50.0, _msg("client-1", "s-1"))
+        assert not fault.severs(150.0, _msg("client-1", "s-1"))
+
+    def test_outbound_cut_loses_only_dark_side_traffic(self):
+        # Requests arrive, replies vanish — the asymmetric cut.
+        fault = PartitionFault(
+            side=("s-1",), start_ms=0.0, end_ms=100.0, mode="outbound"
+        )
+        assert fault.severs(50.0, _msg("s-1", "client-1"))
+        assert not fault.severs(50.0, _msg("client-1", "s-1"))
+
+    def test_inbound_cut_loses_only_traffic_toward_the_dark_side(self):
+        fault = PartitionFault(
+            side=("s-1",), start_ms=0.0, end_ms=100.0, mode="inbound"
+        )
+        assert not fault.severs(50.0, _msg("s-1", "client-1"))
+        assert fault.severs(50.0, _msg("client-1", "s-1"))
+
+    def test_traffic_within_one_side_never_crosses(self):
+        fault = PartitionFault(
+            side=("s-1", "s-2"), start_ms=0.0, end_ms=100.0
+        )
+        assert not fault.severs(50.0, _msg("s-1", "s-2"))
+        assert not fault.severs(50.0, _msg("client-1", "client-2"))
+
+    def test_explicit_far_side_restricts_the_cut(self):
+        fault = PartitionFault(
+            side=("s-1",), far=("s-2",), start_ms=0.0, end_ms=100.0
+        )
+        assert fault.severs(50.0, _msg("s-1", "s-2"))
+        assert fault.severs(50.0, _msg("s-2", "s-1"))
+        # Hosts outside side ∪ far still talk to both.
+        assert not fault.severs(50.0, _msg("s-1", "client-1"))
+        assert not fault.severs(50.0, _msg("client-1", "s-1"))
+
+    def test_grey_partition_exempts_the_probe_round_trip(self):
+        fault = grey_partition(side=("s-1",), start_ms=0.0, end_ms=100.0)
+        assert fault.exempt_kinds == PROBE_EXEMPT_KINDS
+        for kind in PROBE_EXEMPT_KINDS:
+            assert not fault.severs(50.0, _msg("s-1", "client-1", kind=kind))
+        assert fault.severs(50.0, _msg("s-1", "client-1", kind="reply"))
+
+    def test_separates_is_mode_agnostic(self):
+        # Any severed crossing direction kills a round trip.
+        for mode in ("symmetric", "outbound", "inbound"):
+            fault = PartitionFault(
+                side=("s-1",), start_ms=0.0, end_ms=100.0, mode=mode
+            )
+            assert fault.separates("client-1", "s-1")
+            assert fault.separates("s-1", "client-1")
+            assert not fault.separates("client-1", "client-2")
+
+
+class TestClassification:
+    def test_total_steady_cut_is_a_blackout(self):
+        fault = PartitionFault(side=("s-1",), start_ms=0.0, end_ms=100.0)
+        assert fault.lan_visible
+        assert fault.blackout
+
+    def test_grey_cut_stays_wire_level(self):
+        fault = grey_partition(side=("s-1",), start_ms=0.0, end_ms=100.0)
+        assert not fault.lan_visible
+        assert not fault.blackout
+
+    def test_lossy_cut_stays_wire_level(self):
+        fault = PartitionFault(
+            side=("s-1",), start_ms=0.0, end_ms=100.0, drop_probability=0.5
+        )
+        assert not fault.lan_visible
+
+    def test_flapping_total_cut_is_lan_visible_but_not_blackout(self):
+        fault = PartitionFault(
+            side=("s-1",), start_ms=0.0, end_ms=100.0, flap_period_ms=10.0
+        )
+        assert fault.lan_visible
+        assert not fault.blackout
+
+
+class TestLanConnectivity:
+    def test_severed_links_are_reference_counted(self, lan):
+        lan.sever_link("client-1", "server-1")
+        lan.sever_link("client-1", "server-1")
+        assert not lan.reachable("client-1", "server-1")
+        lan.heal_link("client-1", "server-1")
+        assert not lan.reachable("client-1", "server-1")  # one cut remains
+        lan.heal_link("client-1", "server-1")
+        assert lan.reachable("client-1", "server-1")
+
+    def test_heal_is_idempotent_at_zero(self, lan):
+        lan.heal_link("client-1", "server-1")  # never severed: no-op
+        assert lan.reachable("client-1", "server-1")
+
+    def test_severance_is_directional(self, lan):
+        lan.sever_link("server-1", "client-1")
+        assert not lan.reachable("server-1", "client-1")
+        assert lan.reachable("client-1", "server-1")
+        assert lan.severed_links() == [("server-1", "client-1")]
+
+    def test_transport_loses_messages_on_severed_links(
+        self, sim, lan, transport
+    ):
+        received = []
+        transport.bind("server-1", received.append)
+        lan.sever_link("client-1", "server-1")
+        transport.send(_msg())
+        sim.run()
+        assert received == []
+        assert transport.lost_count == 1
+        lan.heal_link("client-1", "server-1")
+        transport.send(_msg())
+        sim.run()
+        assert len(received) == 1
+
+
+class TestFaultyTransportEnforcement:
+    def _wired(self, schedule, fault_seed=0):
+        stack = FaultStack(schedule=schedule, fault_seed=fault_seed)
+        stack.add_server("s-1", service_time=Constant(5.0))
+        stack.add_server("s-2", service_time=Constant(5.0))
+        stack.add_client("c-1", deadline_ms=100.0)
+        return stack
+
+    @staticmethod
+    def _bare_wire(schedule, fault_seed=0):
+        """A fault-injecting wire with no handlers (no setup traffic)."""
+        from repro.net.lan import LanModel
+        from repro.net.transport import Transport
+        from repro.sim.kernel import Simulator
+        from repro.sim.random import RandomStreams
+
+        sim = Simulator()
+        lan = LanModel(RandomStreams(seed=0))
+        for host in ("c-1", "s-1"):
+            lan.add_host(host)
+        inner = Transport(sim, lan)
+        faulty = FaultyTransport(
+            inner, schedule=schedule, rng=np.random.default_rng(fault_seed)
+        )
+        return sim, inner, faulty
+
+    def test_blackout_cut_times_out_the_request(self):
+        schedule = FaultSchedule(
+            partitions=(
+                PartitionFault(side=("s-1", "s-2"), start_ms=0.0, end_ms=500.0),
+            )
+        )
+        stack = self._wired(schedule)
+        event = stack.invoke("c-1", 0)
+        stack.sim.run()
+        assert event.value.timed_out
+        assert stack.transport.injected_partition_drops > 0
+        stack.auditor.assert_clean()
+
+    def test_outbound_cut_delivers_the_request_but_loses_the_reply(self):
+        schedule = FaultSchedule(
+            partitions=(
+                PartitionFault(
+                    side=("s-1", "s-2"),
+                    start_ms=0.0,
+                    end_ms=500.0,
+                    mode="outbound",
+                ),
+            )
+        )
+        stack = self._wired(schedule)
+        event = stack.invoke("c-1", 0)
+        stack.sim.run()
+        assert event.value.timed_out
+        # The dark side *served* the request — only its ack vanished.
+        served = sum(
+            server.metrics.counter(
+                "server.replies", labels={"replica": host}
+            )
+            for host, server in stack.servers.items()
+        )
+        assert served >= 1
+        stack.auditor.assert_clean()
+
+    def test_total_cut_is_draw_free(self):
+        # A blackout consumes no wire-stream randomness, so adding one
+        # never perturbs the draws of the probabilistic rules.
+        schedule = FaultSchedule(
+            partitions=(
+                PartitionFault(side=("s-1",), start_ms=0.0, end_ms=100.0),
+            )
+        )
+        _sim, _inner, faulty = self._bare_wire(schedule)
+        state = faulty.rng.bit_generator.state
+        faulty.send(_msg("c-1", "s-1"))
+        assert faulty.injected_partition_drops == 1
+        assert faulty.rng.bit_generator.state == state
+
+    def test_lossy_cut_draws_from_the_wire_stream(self):
+        fault = PartitionFault(
+            side=("s-1",), start_ms=0.0, end_ms=100.0, drop_probability=0.5
+        )
+        schedule = FaultSchedule(partitions=(fault,))
+        _sim, _inner, faulty = self._bare_wire(schedule, fault_seed=3)
+        sent = 200
+        for _ in range(sent):
+            faulty.send(_msg("c-1", "s-1"))
+        dropped = faulty.injected_partition_drops
+        # A fair-ish coin: some die, some pass, none of it deterministic.
+        assert 0 < dropped < sent
+        rng = np.random.default_rng(3)
+        expected = sum(rng.random() < 0.5 for _ in range(sent))
+        assert dropped == expected
+
+    def test_grey_cut_passes_probes_and_drops_data(self):
+        fault = grey_partition(side=("s-1",), start_ms=0.0, end_ms=100.0)
+        sim, inner, faulty = self._bare_wire(FaultSchedule(partitions=(fault,)))
+        received = []
+        inner.bind("s-1", received.append)
+        faulty.send(_msg("c-1", "s-1", kind=MSG_PROBE))
+        faulty.send(_msg("c-1", "s-1", kind="request"))
+        sim.run()
+        assert [m.kind for m in received] == [MSG_PROBE]
+        assert faulty.injected_partition_drops == 1
+
+
+class TestPartitionDriver:
+    def _driver(self, stack, replicas=None):
+        return PartitionDriver(
+            sim=stack.sim,
+            lan=stack.lan,
+            group_comm=stack.group_comm,
+            service=SERVICE,
+            replicas=replicas or list(stack.servers),
+        )
+
+    def test_wire_only_cuts_never_touch_the_lan(self):
+        stack = FaultStack()
+        stack.add_server("s-1")
+        driver = self._driver(stack)
+        driver.apply(
+            FaultSchedule(
+                partitions=(
+                    grey_partition(side=("s-1",), start_ms=1.0, end_ms=50.0),
+                    PartitionFault(
+                        side=("s-1",),
+                        start_ms=1.0,
+                        end_ms=50.0,
+                        drop_probability=0.5,
+                    ),
+                )
+            )
+        )
+        stack.sim.run(until=100.0)
+        assert driver.cuts_applied == 0
+        assert stack.lan.severed_links() == []
+
+    def test_blackout_cut_severs_and_heals_ordered_pairs(self):
+        stack = FaultStack()
+        stack.add_server("s-1")
+        stack.add_server("s-2")
+        stack.add_client("c-1")
+        driver = self._driver(stack)
+        fault = PartitionFault(side=("s-1",), start_ms=10.0, end_ms=50.0)
+        driver.apply_partition(fault)
+        stack.sim.run(until=20.0)
+        severed = set(stack.lan.severed_links())
+        assert ("s-1", "s-2") in severed
+        assert ("s-2", "s-1") in severed
+        assert ("s-1", "c-1") in severed
+        assert ("c-1", "s-1") in severed
+        stack.sim.run(until=60.0)
+        assert stack.lan.severed_links() == []
+        assert driver.cuts_applied == 1
+        assert driver.heals_applied == 1
+
+    def test_one_way_cut_severs_one_direction_only(self):
+        stack = FaultStack()
+        stack.add_server("s-1")
+        stack.add_client("c-1")
+        driver = self._driver(stack)
+        fault = PartitionFault(
+            side=("s-1",), start_ms=10.0, end_ms=50.0, mode="outbound"
+        )
+        driver.apply_partition(fault)
+        stack.sim.run(until=20.0)
+        assert stack.lan.severed_links() == [("s-1", "c-1")]
+        assert stack.lan.reachable("c-1", "s-1")
+
+    def test_flapping_cut_cycles_the_links(self):
+        stack = FaultStack()
+        stack.add_server("s-1")
+        stack.add_client("c-1")
+        driver = self._driver(stack)
+        fault = PartitionFault(
+            side=("s-1",),
+            start_ms=0.0,
+            end_ms=100.0,
+            flap_period_ms=40.0,
+            flap_duty=0.5,
+        )
+        driver.apply_partition(fault)
+        stack.sim.run(until=10.0)
+        assert stack.lan.severed_links() != []
+        stack.sim.run(until=30.0)
+        assert stack.lan.severed_links() == []
+        stack.sim.run(until=50.0)
+        assert stack.lan.severed_links() != []
+        stack.sim.run(until=200.0)
+        assert stack.lan.severed_links() == []
+        assert driver.cuts_applied == 3  # cycles at 0, 40 and 80 ms
+        assert driver.heals_applied == 3
+
+    def test_delayed_copies_die_on_a_cut_applied_after_send(self):
+        # A duplicate scheduled before the cut must not cross it: the
+        # LAN-level severance catches what FaultyTransport already
+        # processed.
+        from repro.faultinject.schedule import DuplicateRule
+
+        schedule = FaultSchedule(
+            duplicates=(
+                DuplicateRule(
+                    start_ms=0.0, end_ms=5.0, copies=1, late_by_ms=30.0
+                ),
+            ),
+            partitions=(
+                PartitionFault(side=("s-1",), start_ms=10.0, end_ms=100.0),
+            ),
+        )
+        sim, inner, faulty = TestFaultyTransportEnforcement._bare_wire(
+            schedule
+        )
+        driver = PartitionDriver(sim=sim, lan=inner.lan)
+        driver.apply(schedule)
+        received = []
+        inner.bind("s-1", received.append)
+        faulty.send(_msg("c-1", "s-1"))  # duplicated, copy at ~30ms
+        sim.run(until=200.0)
+        assert faulty.injected_duplicates == 1
+        assert len(received) == 1  # the original; the late copy died
+        assert inner.lost_count == 1
+
+
+class TestHealReconciliation:
+    def _partitioned_stack(self):
+        """A stack whose detector observes from the client's vantage."""
+        stack = FaultStack()
+        detector = FailureDetector(
+            stack.sim,
+            stack.lan,
+            poll_interval_ms=10.0,
+            confirm_polls=2,
+            vantage="c-1",
+        )
+        stack.group_comm = GroupCommunication(
+            stack.sim,
+            stack.lan,
+            stack.transport,
+            notify_delay_ms=1.0,
+            failure_detector=detector,
+        )
+        stack.add_client("c-1")
+        stack.add_server("s-1")
+        stack.add_server("s-2")
+        return stack, detector
+
+    def test_partition_evicts_and_heal_rejoins(self):
+        stack, detector = self._partitioned_stack()
+        driver = PartitionDriver(
+            sim=stack.sim,
+            lan=stack.lan,
+            group_comm=stack.group_comm,
+            service=SERVICE,
+            replicas=["s-1", "s-2"],
+        )
+        fault = PartitionFault(side=("s-1",), start_ms=50.0, end_ms=200.0)
+        driver.apply_partition(fault)
+        stack.sim.run(until=150.0)
+        # Mid-cut: the vantage host cannot see s-1, so the detector
+        # declared it crashed and the group evicted it — view churn.
+        assert detector.is_declared_crashed("s-1")
+        assert "s-1" not in stack.group_comm.view(SERVICE)
+        assert stack.lan.is_up("s-1")  # it never actually crashed
+        stack.sim.run(until=400.0)
+        # Post-heal: fresh sighting, membership reconciled.
+        assert not detector.is_declared_crashed("s-1")
+        assert "s-1" in stack.group_comm.view(SERVICE)
+        assert driver.sightings_applied == 1
+        assert driver.rejoins_applied == 1
+
+    def test_heal_leaves_hosts_cut_by_an_overlapping_partition(self):
+        stack, detector = self._partitioned_stack()
+        driver = PartitionDriver(
+            sim=stack.sim,
+            lan=stack.lan,
+            group_comm=stack.group_comm,
+            service=SERVICE,
+            replicas=["s-1", "s-2"],
+        )
+        first = PartitionFault(side=("s-1",), start_ms=50.0, end_ms=200.0)
+        second = PartitionFault(side=("s-1",), start_ms=100.0, end_ms=300.0)
+        driver.apply_partition(first)
+        driver.apply_partition(second)
+        stack.sim.run(until=250.0)
+        # First heal at 200ms found s-1 still severed by the second cut:
+        # no premature rejoin.
+        assert "s-1" not in stack.group_comm.view(SERVICE)
+        assert driver.rejoins_applied == 0
+        stack.sim.run(until=400.0)
+        assert "s-1" in stack.group_comm.view(SERVICE)
+        assert driver.rejoins_applied == 1
+
+    def test_heal_never_resurrects_a_genuinely_crashed_host(self):
+        stack, detector = self._partitioned_stack()
+        driver = PartitionDriver(
+            sim=stack.sim,
+            lan=stack.lan,
+            group_comm=stack.group_comm,
+            service=SERVICE,
+            replicas=["s-1", "s-2"],
+        )
+        fault = PartitionFault(side=("s-1",), start_ms=50.0, end_ms=200.0)
+        driver.apply_partition(fault)
+        # The host dies for real mid-cut; the heal must not rejoin it.
+        stack.sim.call_at(100.0, lambda: stack.lan.mark_down("s-1"))
+        stack.sim.run(until=400.0)
+        assert detector.is_declared_crashed("s-1")
+        assert "s-1" not in stack.group_comm.view(SERVICE)
+        assert driver.rejoins_applied == 0
+
+    def test_heal_without_declaration_is_a_noop(self):
+        # Cut too short for the detector to confirm: nothing to reconcile.
+        stack, detector = self._partitioned_stack()
+        driver = PartitionDriver(
+            sim=stack.sim,
+            lan=stack.lan,
+            group_comm=stack.group_comm,
+            service=SERVICE,
+            replicas=["s-1", "s-2"],
+        )
+        fault = PartitionFault(side=("s-1",), start_ms=52.0, end_ms=61.0)
+        driver.apply_partition(fault)
+        stack.sim.run(until=200.0)
+        assert not detector.is_declared_crashed("s-1")
+        assert "s-1" in stack.group_comm.view(SERVICE)
+        assert driver.sightings_applied == 0
+        assert driver.rejoins_applied == 0

@@ -17,7 +17,7 @@ import hashlib
 import numpy as np
 import pytest
 
-from repro.faultinject.schedule import random_fault_schedule
+from repro.faultinject.schedule import _draw_partition, random_fault_schedule
 from repro.rng import RNGManager
 
 REPLICAS = ["s-1", "s-2", "s-3"]
@@ -124,6 +124,96 @@ class TestStreamedPathIndependence:
         assert len(schedule.churn) == 2
         assert len(schedule.degradations) == 2
         assert len(schedule.overloads) == 2
+
+
+class TestPartitionFamily:
+    """Seeding discipline of the newest family (partitions)."""
+
+    def test_repr_omits_empty_partition_family(self):
+        # The frozen legacy digests hash repr(schedule); a schedule with
+        # no partitions must render byte-identically to the pre-partition
+        # dataclass repr.
+        schedule = _legacy(7)
+        assert schedule.partitions == ()
+        assert "partitions=" not in repr(schedule)
+
+    def test_repr_shows_partitions_when_drawn(self):
+        schedule = _streamed(7, partition_windows=1)
+        assert len(schedule.partitions) == 1
+        assert "partitions=" in repr(schedule)
+
+    def test_legacy_partitions_draw_after_every_other_family(self):
+        # Same guarantee degradations/overloads got: partitions draw
+        # last on the sequential path, so enabling them leaves every
+        # earlier family byte-identical.
+        plain = _legacy(13, degradations=2, overload_windows=2)
+        extended = _legacy(
+            13, degradations=2, overload_windows=2, partition_windows=2
+        )
+        for family in (
+            "drops",
+            "delays",
+            "duplicates",
+            "crashes",
+            "churn",
+            "degradations",
+            "overloads",
+        ):
+            assert getattr(extended, family) == getattr(plain, family)
+        assert len(extended.partitions) == 2
+
+    def test_streamed_partition_count_is_independent(self):
+        base = _streamed(29, degradations=1, overload_windows=1)
+        cut = _streamed(
+            29, degradations=1, overload_windows=1, partition_windows=3
+        )
+        for family in (
+            "drops",
+            "delays",
+            "duplicates",
+            "crashes",
+            "churn",
+            "degradations",
+            "overloads",
+        ):
+            assert getattr(cut, family) == getattr(base, family)
+        assert len(cut.partitions) == 3
+        # ... and window i keeps its identity as the count grows.
+        more = _streamed(
+            29, degradations=1, overload_windows=1, partition_windows=5
+        )
+        assert more.partitions[:3] == cut.partitions
+
+    def test_matches_manual_partition_substream_draws(self):
+        # The documented key scheme: window i of the partition family
+        # draws from substream ("faults.partition", i) of the manager.
+        manager = RNGManager(base_seed=41)
+        expected = tuple(
+            _draw_partition(
+                manager.substream("faults.partition", i),
+                REPLICAS,
+                HORIZON_MS,
+                window_fraction=0.15,
+                flap_probability=0.25,
+                grey_probability=0.2,
+            )
+            for i in range(2)
+        )
+        schedule = _streamed(41, partition_windows=2)
+        assert schedule.partitions == expected
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_partitions_are_valid_and_drained(self, seed):
+        for schedule in (
+            _streamed(seed, partition_windows=3),
+            _legacy(seed, partition_windows=3),
+        ):
+            assert len(schedule.partitions) == 3
+            for fault in schedule.partitions:
+                assert set(fault.side) <= set(REPLICAS)
+                assert fault.mode in ("symmetric", "outbound", "inbound")
+                assert fault.end_ms <= HORIZON_MS * 0.85
+                assert fault.start_ms < fault.end_ms
 
 
 class TestDrainedWindows:
