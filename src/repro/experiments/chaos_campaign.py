@@ -44,9 +44,19 @@ def run(
     schedules: int = 20,
     base_seed: int = 0,
     workers: int = 1,
+    clock_windows: int = 0,
 ) -> CampaignResult:
-    """Run a (default: small) campaign; the CLI default is 200 schedules."""
-    cfg = CampaignConfig(schedules=schedules, base_seed=base_seed)
+    """Run a (default: small) campaign; the CLI default is 200 schedules.
+
+    ``clock_windows`` is the per-schedule cap on the opt-in clock-fault
+    family (0, the default, keeps the legacy schedule draws and their
+    published digests bit-identical).
+    """
+    cfg = CampaignConfig(
+        schedules=schedules,
+        base_seed=base_seed,
+        max_clock_windows=clock_windows,
+    )
     return run_campaign(cfg, workers=workers)
 
 
@@ -136,11 +146,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "then delta-debug its schedule to a minimal reproducer"
         ),
     )
+    parser.add_argument(
+        "--clock-windows",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "per-schedule cap on clock-fault windows (default 0 keeps "
+            "the legacy campaign digest); replay lines from a clocked "
+            "campaign carry this flag so --replay redraws identically"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.replay is not None:
         base_seed, index, digest12 = args.replay
-        cfg = CampaignConfig(schedules=max(index + 1, 1), base_seed=base_seed)
+        cfg = CampaignConfig(
+            schedules=max(index + 1, 1),
+            base_seed=base_seed,
+            max_clock_windows=args.clock_windows,
+        )
         outcome = run_scenario(cfg, index)
         if digest12 is not None and not outcome.digest.startswith(digest12):
             print(
@@ -168,7 +193,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     schedules = 20 if args.quick else args.schedules
     started = time.perf_counter()
     result = run(
-        schedules=schedules, base_seed=args.seed, workers=args.workers
+        schedules=schedules,
+        base_seed=args.seed,
+        workers=args.workers,
+        clock_windows=args.clock_windows,
     )
     report_lines = _summarize(result)
     print("\n".join(report_lines))
@@ -231,6 +259,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             handle.write("### A17 chaos campaign\n```\n")
             handle.write("\n".join(report_lines))
             handle.write("\n```\n")
+            if result.failures:
+                handle.write(
+                    "\n**Reproduce locally** (each replay redraws the "
+                    "exact schedule, checks its digest, then ddmin-"
+                    "shrinks it to a 1-minimal reproducer):\n```\n"
+                )
+                for outcome in result.failures:
+                    handle.write(f"{outcome.replay}\n")
+                handle.write("```\n")
     print(
         f"[A17 campaign: {time.perf_counter() - started:.1f}s "
         f"with {result.workers} worker(s)]"

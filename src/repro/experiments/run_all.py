@@ -3,7 +3,7 @@
 ``python -m repro.experiments.run_all`` regenerates the complete
 EXPERIMENTS.md data set in one go (several minutes).  Pass ``--quick``
 for a reduced-sweep smoke pass, and ``--workers N`` to fan the
-parallel-capable sweeps (currently A15/A16; see
+parallel-capable sweeps (currently A15/A16/A18; see
 EXPERIMENTS.md § "Running the matrix in parallel") across N worker
 processes — their tables stay bit-identical to the serial run.
 """
@@ -19,6 +19,7 @@ from . import (
     bursty_network,
     calibration,
     chaos_campaign,
+    clock_faults,
     colocation,
     factors,
     fig3_overhead,
@@ -58,6 +59,7 @@ ALL_EXPERIMENTS = [
     ("A15 health under degradation", health_degradation),
     ("A16 overload collapse", overload_collapse),
     ("A17 chaos campaign", chaos_campaign),
+    ("A18 clock-fault tolerance", clock_faults),
 ]
 
 

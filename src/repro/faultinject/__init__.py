@@ -4,13 +4,14 @@ Three composable layers:
 
 * :mod:`~repro.faultinject.schedule` — declarative fault schedules
   (drops, delay spikes, duplicated/late replies, crash+restart, view
-  churn, persistent degradation, network partitions) plus a
-  randomized-schedule generator;
+  churn, persistent degradation, network partitions, clock faults) plus
+  a randomized-schedule generator;
 * :mod:`~repro.faultinject.transport` /
   :mod:`~repro.faultinject.drivers` /
-  :mod:`~repro.faultinject.partition` — interpreters that apply a
-  schedule to a running deployment (message level, host level and
-  connectivity level respectively);
+  :mod:`~repro.faultinject.partition` /
+  :mod:`~repro.faultinject.clock` — interpreters that apply a schedule
+  to a running deployment (message level, host level, connectivity
+  level and clock level respectively);
 * :mod:`~repro.faultinject.auditor` — the drain-time
   :class:`LifecycleAuditor` asserting the request-lifecycle invariants
   (exactly-once completion, no leaked bookkeeping, no resurrected
@@ -39,6 +40,7 @@ from .campaign import (
     run_scenario,
     shrink_schedule,
 )
+from .clock import CLOCK_FAULT_KINDS, ClockDriver, ClockFault
 from .drivers import LifecycleFaultDriver
 from .overload import OverloadDriver
 from .partition import (
@@ -62,9 +64,12 @@ from .transport import FaultyTransport
 
 __all__ = [
     "AuditReport",
+    "CLOCK_FAULT_KINDS",
     "CampaignConfig",
     "CampaignResult",
     "ChurnFault",
+    "ClockDriver",
+    "ClockFault",
     "CrashRestartFault",
     "DegradationFault",
     "DelayRule",

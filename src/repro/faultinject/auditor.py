@@ -185,6 +185,16 @@ class LifecycleAuditor:
                 )
                 continue
             outcome = record.outcomes[0]
+            if outcome.response_time_ms < 0.0:
+                # Response times are measured on the gateway's own clock;
+                # even a faulted clock must never yield a negative span
+                # (the handler clamps).  A negative here means a raw
+                # cross-clock subtraction leaked into the measurement.
+                violations.append(
+                    f"{label}: negative response time "
+                    f"{outcome.response_time_ms:.3f}ms (cross-clock "
+                    "measurement leaked)"
+                )
             # Branch on the closed OutcomeKind enum; the assert_never arm
             # makes the checker prove a new outcome kind cannot slip past
             # the audit unhandled.  The cross-flag checks below still read

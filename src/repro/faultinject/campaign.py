@@ -46,9 +46,11 @@ from ..orb.orb import Orb
 from ..replica.load import ServiceProfile
 from ..replica.server import ReplicaApplication
 from ..rng import RNGManager, derive_entity_seed
+from ..sim.hostclock import ClockRegistry
 from ..sim.kernel import Simulator
 from ..sim.random import Constant, RandomStreams
 from .auditor import LifecycleAuditor
+from .clock import ClockDriver
 from .drivers import LifecycleFaultDriver
 from .overload import OverloadDriver
 from .partition import PartitionDriver
@@ -81,6 +83,7 @@ _FAMILIES = (
     "degradations",
     "overloads",
     "partitions",
+    "clocks",
 )
 
 
@@ -115,6 +118,7 @@ class CampaignConfig:
     max_degradations: int = 1
     max_overload_windows: int = 1
     max_partition_windows: int = 2
+    max_clock_windows: int = 0
     drop_probability: float = 0.3
     surge_interarrival_ms: float = 10.0
     min_reply_fraction: float = 0.3
@@ -154,11 +158,20 @@ class CampaignConfig:
         return derive_entity_seed(self.base_seed, "chaos.schedule", index, 0)
 
     def replay_line(self, index: int, digest: str) -> str:
-        """The one-line recipe that reruns scenario ``index`` exactly."""
-        return (
+        """The one-line recipe that reruns scenario ``index`` exactly.
+
+        Non-default schedule knobs that change what the scenario seed
+        draws must ride along, or the replay draws a different schedule
+        and dies on the digest check: today that is only the opt-in
+        clock-fault family.
+        """
+        line = (
             "python -m repro.experiments.chaos_campaign "
             f"--replay {self.base_seed}:{index}:{digest[:12]}"
         )
+        if self.max_clock_windows:
+            line += f" --clock-windows {self.max_clock_windows}"
+        return line
 
 
 def schedule_digest(schedule: FaultSchedule) -> str:
@@ -190,6 +203,7 @@ def draw_composed_schedule(cfg: CampaignConfig, index: int) -> FaultSchedule:
         overload_windows=int(mix.integers(0, cfg.max_overload_windows + 1)),
         surge_interarrival_ms=cfg.surge_interarrival_ms,
         partition_windows=int(mix.integers(0, cfg.max_partition_windows + 1)),
+        clock_windows=int(mix.integers(0, cfg.max_clock_windows + 1)),
     )
 
 
@@ -255,6 +269,7 @@ class _ChaosStack:
 
         self.cfg = cfg
         self.sim = Simulator()
+        self.clock_registry = ClockRegistry(self.sim)
         self.streams = RandomStreams(seed=scenario_seed)
         profile = LinkProfile(
             stack_ms=1.0, per_kb_ms=0.0, per_member_ms=0.0, jitter=Constant(0.0)
@@ -299,6 +314,7 @@ class _ChaosStack:
                 app=app,
                 transport=self.transport,
                 marshalling=marshalling,
+                clock=self.clock_registry.clock(host),
             )
             Gateway(host, self.sim, self.transport).load_handler(server)
             self.group_comm.join(SERVICE, host, watch=True)
@@ -314,6 +330,7 @@ class _ChaosStack:
             backoff_factor=2.0,
             backoff_max_ms=1600.0,
             unreachable_after=3,
+            clock_anomaly_after=3,
         )
         self.stubs: Dict[str, Any] = {}
         self.clients: Dict[str, TimingFaultClientHandler] = {}
@@ -332,6 +349,7 @@ class _ChaosStack:
                 response_timeout_factor=3.0,
                 probe_interval_ms=50.0,
                 health_config=health,
+                clock=self.clock_registry.clock(host),
             )
             Gateway(host, self.sim, self.transport).load_handler(client)
             self.auditor.watch_client(client)
@@ -364,9 +382,15 @@ class _ChaosStack:
                 for host in cfg.client_hosts
             },
         )
+        self.clock_driver = ClockDriver(
+            sim=self.sim,
+            clocks=self.clock_registry.clocks(),
+            streams=RNGManager(derive_entity_seed(wire_seed, "chaos.clock", 0, 0)),
+        )
         self.lifecycle_driver.apply(schedule)
         self.partition_driver.apply(schedule)
         self.overload_driver.apply(schedule)
+        self.clock_driver.apply(schedule)
 
 
 def _closed_loop(

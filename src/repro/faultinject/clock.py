@@ -1,0 +1,202 @@
+"""The clock-fault plane: de-synchronize per-host virtual clocks.
+
+The paper's protocol never assumes synchronized clocks — every interval
+is measured on a single host — but an *implementation* can break that
+discipline in many quiet ways (comparing a replica's absolute timestamp
+with the gateway's, trusting a frozen clock's zero durations).  This
+module injects the faults that expose such bugs, as declarative windows
+over the :class:`~repro.sim.hostclock.HostClock` plane:
+
+* ``skew``   — a constant offset for the window (bad initial sync);
+* ``drift``  — the clock runs fast/slow by ``drift_ppm`` parts per
+  million (oscillator error; ±500 ppm is a realistic bound);
+* ``step``   — an NTP-style jump by ``step_ms`` at window start;
+* ``freeze`` — the clock stops advancing (lost timer interrupts, VM
+  pause); every duration measured across the freeze reads as zero;
+* ``jitter`` — per-read uniform noise of ±``jitter_ms`` (failing timer
+  hardware); readings are no longer monotone.
+
+Every window ends with a ``resync()`` — an external time service
+correcting the host — so a drained run finishes on healthy clocks.
+
+:class:`ClockDriver` arms the windows on a running deployment, mirroring
+the :class:`~repro.faultinject.partition.PartitionDriver` idiom: pure
+data in the schedule, ``call_at`` transitions in the driver, counters
+and trace events for the audits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
+
+from ..rng import RNGManager
+from ..sim.hostclock import HostClock
+from ..sim.kernel import Simulator
+from ..sim.trace import NullTracer, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .schedule import FaultSchedule
+
+__all__ = ["CLOCK_FAULT_KINDS", "ClockFault", "ClockDriver"]
+
+#: The declarative clock-fault family, in drawing order.
+CLOCK_FAULT_KINDS = ("skew", "drift", "step", "freeze", "jitter")
+
+
+@dataclass(frozen=True)
+class ClockFault:
+    """De-synchronize ``host``'s clock during ``[start_ms, end_ms)``.
+
+    Exactly one magnitude parameter is meaningful per ``kind`` (see the
+    module docstring); the others keep their defaults.  ``offset_ms``
+    serves both ``skew`` (held for the window) and — via ``step_ms`` —
+    the NTP-style jump; they share mechanics but model different
+    operational events, so they stay distinct kinds in the family.
+    """
+
+    host: str
+    start_ms: float
+    end_ms: float
+    kind: str = "skew"
+    offset_ms: float = 0.0
+    drift_ppm: float = 0.0
+    step_ms: float = 0.0
+    jitter_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ValueError("a clock fault needs a host")
+        if self.start_ms < 0:
+            raise ValueError(f"start_ms must be >= 0, got {self.start_ms}")
+        if self.end_ms <= self.start_ms:
+            raise ValueError(
+                f"end_ms must exceed start_ms, got [{self.start_ms}, {self.end_ms}]"
+            )
+        if self.kind not in CLOCK_FAULT_KINDS:
+            raise ValueError(
+                f"kind must be one of {CLOCK_FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.kind == "skew" and self.offset_ms == 0.0:  # repro-lint: disable=RL003 (config default detection)
+            raise ValueError("a skew fault needs a non-zero offset_ms")
+        if self.kind == "drift" and self.drift_ppm == 0.0:  # repro-lint: disable=RL003 (config default detection)
+            raise ValueError("a drift fault needs a non-zero drift_ppm")
+        if self.kind == "step" and self.step_ms == 0.0:  # repro-lint: disable=RL003 (config default detection)
+            raise ValueError("a step fault needs a non-zero step_ms")
+        if self.kind == "jitter" and self.jitter_ms <= 0.0:
+            raise ValueError("a jitter fault needs a positive jitter_ms")
+        if self.drift_ppm <= -1_000_000.0:
+            raise ValueError(
+                "drift_ppm must exceed -1e6 (a clock cannot run backward "
+                f"continuously), got {self.drift_ppm}"
+            )
+
+    @property
+    def rate(self) -> float:
+        """The drift kind's clock rate (local ms per kernel ms)."""
+        return 1.0 + self.drift_ppm / 1_000_000.0
+
+    def active(self, now_ms: float) -> bool:
+        """Whether the window covers ``now_ms``."""
+        return self.start_ms <= now_ms < self.end_ms
+
+
+class ClockDriver:
+    """Applies :class:`ClockFault` windows to live :class:`HostClock` s.
+
+    ``clocks`` maps host name to that host's clock (typically a
+    :class:`~repro.sim.hostclock.ClockRegistry` snapshot); faults naming
+    unknown hosts are ignored, mirroring the other drivers' tolerance of
+    schedules drawn against a larger fleet.
+
+    Overlapping windows on one host compose approximately: when one
+    window ends, the clock is resynced and every still-active window is
+    re-engaged (a re-engaged ``step`` jumps again).  Randomized
+    schedules draw at most a few windows per run, so in practice the
+    windows are disjoint and the semantics exact.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        clocks: Mapping[str, HostClock],
+        tracer: Optional[Tracer] = None,
+        streams: Optional[RNGManager] = None,
+    ) -> None:
+        self.sim = sim
+        self.clocks = dict(clocks)
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.streams = streams
+        self.engagements = 0
+        self.resyncs = 0
+        self._active: Dict[str, List[ClockFault]] = {}
+
+    # -- scheduling ----------------------------------------------------------
+    def apply(self, schedule: "FaultSchedule") -> None:
+        """Arm every clock window of ``schedule``."""
+        for fault in schedule.clocks:
+            self.apply_fault(fault)
+
+    def apply_fault(self, fault: ClockFault) -> None:
+        """Arm one window's engage/resync transitions."""
+        if fault.host not in self.clocks:
+            return
+        self.sim.call_at(fault.start_ms, lambda: self.engage_now(fault))
+        self.sim.call_at(fault.end_ms, lambda: self.disengage_now(fault))
+
+    # -- transitions ---------------------------------------------------------
+    def _engage(self, clock: HostClock, fault: ClockFault) -> None:
+        if fault.kind == "skew":
+            clock.step(fault.offset_ms)
+        elif fault.kind == "drift":
+            clock.set_rate(fault.rate)
+        elif fault.kind == "step":
+            clock.step(fault.step_ms)
+        elif fault.kind == "freeze":
+            clock.freeze()
+        else:  # jitter
+            streams = self.streams if self.streams is not None else RNGManager(0)
+            clock.set_jitter(
+                fault.jitter_ms,
+                streams.stream(f"faultinject.clock.{fault.host}"),
+            )
+
+    def engage_now(self, fault: ClockFault) -> None:
+        """Apply ``fault`` to its host's clock at the current instant."""
+        clock = self.clocks.get(fault.host)
+        if clock is None:
+            return
+        active = self._active.setdefault(fault.host, [])
+        if fault in active:
+            return  # idempotent: already engaged
+        active.append(fault)
+        self._engage(clock, fault)
+        self.engagements += 1
+        self.tracer.emit(
+            self.sim.now, "faultinject", "fault.clock-engage",
+            host=fault.host, fault_kind=fault.kind,
+        )
+
+    def disengage_now(self, fault: ClockFault) -> None:
+        """End ``fault``'s window: resync, then re-engage survivors."""
+        clock = self.clocks.get(fault.host)
+        active = self._active.get(fault.host)
+        if clock is None or active is None or fault not in active:
+            return
+        active.remove(fault)
+        clock.resync()
+        for survivor in active:
+            self._engage(clock, survivor)
+        if not active:
+            self._active.pop(fault.host, None)
+        self.resyncs += 1
+        self.tracer.emit(
+            self.sim.now, "faultinject", "fault.clock-resync",
+            host=fault.host, fault_kind=fault.kind,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<ClockDriver engagements={self.engagements} "
+            f"resyncs={self.resyncs} active={sum(map(len, self._active.values()))}>"
+        )

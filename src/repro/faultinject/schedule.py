@@ -13,7 +13,9 @@ plus the crash and churn behaviours of §5.3.2):
 * **view churn** (:class:`ChurnFault`) — graceful leaves/rejoins that
   reshape the membership view under traffic,
 * **network partitions** (:class:`~repro.faultinject.partition.PartitionFault`)
-  — split-brain, one-way and grey connectivity cuts.
+  — split-brain, one-way and grey connectivity cuts,
+* **clock faults** (:class:`~repro.faultinject.clock.ClockFault`) —
+  skew/drift/step/freeze/jitter on a host's virtual clock.
 
 Rules are pure data; :class:`~repro.faultinject.transport.FaultyTransport`
 interprets the message-level rules,
@@ -32,6 +34,7 @@ import numpy as np
 
 from ..net.message import Message
 from ..rng import RNGManager
+from .clock import CLOCK_FAULT_KINDS, ClockFault
 from .partition import PROBE_EXEMPT_KINDS, PartitionFault
 
 __all__ = [
@@ -43,6 +46,7 @@ __all__ = [
     "DegradationFault",
     "OverloadFault",
     "PartitionFault",
+    "ClockFault",
     "FaultSchedule",
     "random_fault_schedule",
 ]
@@ -252,6 +256,7 @@ class FaultSchedule:
     degradations: Tuple[DegradationFault, ...] = ()
     overloads: Tuple[OverloadFault, ...] = ()
     partitions: Tuple[PartitionFault, ...] = ()
+    clocks: Tuple[ClockFault, ...] = ()
 
     def merged(self, other: "FaultSchedule") -> "FaultSchedule":
         """Union of two schedules (composable scenarios)."""
@@ -264,6 +269,7 @@ class FaultSchedule:
             degradations=self.degradations + other.degradations,
             overloads=self.overloads + other.overloads,
             partitions=self.partitions + other.partitions,
+            clocks=self.clocks + other.clocks,
         )
 
     def __len__(self) -> int:
@@ -276,6 +282,7 @@ class FaultSchedule:
             + len(self.degradations)
             + len(self.overloads)
             + len(self.partitions)
+            + len(self.clocks)
         )
 
     def __repr__(self) -> str:
@@ -294,6 +301,8 @@ class FaultSchedule:
         ]
         if self.partitions:
             fields.append(f"partitions={self.partitions!r}")
+        if self.clocks:
+            fields.append(f"clocks={self.clocks!r}")
         return f"FaultSchedule({', '.join(fields)})"
 
 
@@ -364,6 +373,44 @@ def _draw_partition(
     )
 
 
+def _draw_clock_fault(
+    rng: np.random.Generator,
+    replicas: Sequence[str],
+    horizon_ms: float,
+    window_fraction: float,
+    max_skew_ms: float,
+    max_drift_ppm: float,
+) -> ClockFault:
+    # One randomized clock window: pick a host, a drained window, a kind
+    # and a signed magnitude.  The sign is drawn for every kind so the
+    # per-window draw sequence stays uniform across kinds.
+    host = str(rng.choice(list(replicas)))
+    start, end = _draw_drained_window(rng, horizon_ms, window_fraction)
+    kind = CLOCK_FAULT_KINDS[int(rng.integers(0, len(CLOCK_FAULT_KINDS)))]
+    sign = 1.0 if rng.random() < 0.5 else -1.0
+    if kind == "skew":
+        return ClockFault(
+            host=host, start_ms=start, end_ms=end, kind=kind,
+            offset_ms=sign * float(rng.uniform(1.0, max_skew_ms)),
+        )
+    if kind == "drift":
+        return ClockFault(
+            host=host, start_ms=start, end_ms=end, kind=kind,
+            drift_ppm=sign * float(rng.uniform(50.0, max_drift_ppm)),
+        )
+    if kind == "step":
+        return ClockFault(
+            host=host, start_ms=start, end_ms=end, kind=kind,
+            step_ms=sign * float(rng.uniform(1.0, max_skew_ms)),
+        )
+    if kind == "freeze":
+        return ClockFault(host=host, start_ms=start, end_ms=end, kind=kind)
+    return ClockFault(
+        host=host, start_ms=start, end_ms=end, kind="jitter",
+        jitter_ms=float(rng.uniform(0.5, max(1.0, max_skew_ms / 4.0))),
+    )
+
+
 def random_fault_schedule(
     rng: Union[np.random.Generator, RNGManager],
     horizon_ms: float,
@@ -386,6 +433,9 @@ def random_fault_schedule(
     partition_windows: int = 0,
     partition_flap_probability: float = 0.25,
     partition_grey_probability: float = 0.2,
+    clock_windows: int = 0,
+    max_clock_skew_ms: float = 200.0,
+    max_clock_drift_ppm: float = 800.0,
 ) -> FaultSchedule:
     """Draw a randomized schedule over ``[0, horizon_ms)``.
 
@@ -513,6 +563,19 @@ def random_fault_schedule(
                     partition_grey_probability,
                 )
             )
+        clocks = []
+        for i in range(clock_windows):
+            g = rng.substream("faults.clock", i)
+            clocks.append(
+                _draw_clock_fault(
+                    g,
+                    replicas,
+                    horizon_ms,
+                    window_fraction,
+                    max_clock_skew_ms,
+                    max_clock_drift_ppm,
+                )
+            )
         return FaultSchedule(
             drops=tuple(drops),
             delays=tuple(delays),
@@ -522,6 +585,7 @@ def random_fault_schedule(
             degradations=tuple(degraded),
             overloads=tuple(overloads),
             partitions=tuple(partitions),
+            clocks=tuple(clocks),
         )
 
     # Legacy sequential path: one generator, fixed family order.  Frozen;
@@ -598,8 +662,8 @@ def random_fault_schedule(
             )
         )
     partitions = []
-    # Newest family, appended after every other so partition_windows=0
-    # keeps historic schedules byte-identical.
+    # Appended after every earlier family so partition_windows=0 keeps
+    # historic schedules byte-identical.
     for _ in range(partition_windows):
         partitions.append(
             _draw_partition(
@@ -611,6 +675,20 @@ def random_fault_schedule(
                 partition_grey_probability,
             )
         )
+    clocks = []
+    # Newest family, appended after *everything* (partitions included)
+    # so clock_windows=0 keeps historic schedules byte-identical.
+    for _ in range(clock_windows):
+        clocks.append(
+            _draw_clock_fault(
+                rng,
+                replicas,
+                horizon_ms,
+                window_fraction,
+                max_clock_skew_ms,
+                max_clock_drift_ppm,
+            )
+        )
     return FaultSchedule(
         drops=tuple(drops),
         delays=tuple(delays),
@@ -620,4 +698,5 @@ def random_fault_schedule(
         degradations=tuple(degraded),
         overloads=tuple(overloads),
         partitions=tuple(partitions),
+        clocks=tuple(clocks),
     )

@@ -195,7 +195,7 @@ class RetransmittingClientHandler(TimingFaultClientHandler):
             # this retransmission but keep the chain armed — a later
             # attempt fires normally if the load has receded by then.
             self.tracer.emit(
-                self.sim.now, f"client.{self.host}", "client.hedge_suppressed",
+                self.clock.kernel_now, f"client.{self.host}", "client.hedge_suppressed",
                 msg_id=msg_id, attempt=attempt,
             )
             self._arm_retry(msg_id, call, ranking, tried, attempt + 1)
@@ -208,7 +208,7 @@ class RetransmittingClientHandler(TimingFaultClientHandler):
                 pending.expected - pending.replied - pending.faulted
             ):
                 pending.faulted.add(silent)
-                self.health.record_fault(silent, self.sim.now, kind="omission")
+                self.health.record_fault(silent, self.clock.now, kind="omission")
         live = set(self._members)
         if self.health is not None:
             usable = {r for r in live if not self.health.is_quarantined(r)}
@@ -243,7 +243,7 @@ class RetransmittingClientHandler(TimingFaultClientHandler):
             payload={"service": self.service, "call": call, "client": self.host},
             size_bytes=call.size_bytes,
         )
-        self._aliases[copy.msg_id] = (msg_id, self.sim.now)
+        self._aliases[copy.msg_id] = (msg_id, self.clock.now)
         self._copies.setdefault(msg_id, []).append(copy.msg_id)
         # The retransmission target may now reply too; keep the record
         # until it has been heard from (or the response timeout fires).
@@ -251,7 +251,7 @@ class RetransmittingClientHandler(TimingFaultClientHandler):
         self.retransmissions += 1
         self.transport.send(copy)
         self.tracer.emit(
-            self.sim.now, f"client.{self.host}", "client.retransmit",
+            self.clock.kernel_now, f"client.{self.host}", "client.retransmit",
             msg_id=msg_id, attempt=attempt, replica=target,
         )
         self._arm_retry(msg_id, call, ranking, tried, attempt + 1)

@@ -77,6 +77,7 @@ from ...orb.orb import RequestInterceptor
 from ...replica.server import ReplicaApplication
 from ...rng import seeded_generator
 from ...sim.events import Event
+from ...sim.hostclock import HostClock
 from ...sim.kernel import Simulator
 from ...sim.trace import NullTracer, Tracer
 from ..gateway import ProtocolHandler
@@ -125,6 +126,12 @@ class PerformanceUpdate:
 
     ``request`` identifies what was serviced so that classifying clients
     can file the measurement under the right performance class.
+
+    ``enqueued_at_ms`` and ``sent_at_ms`` are *absolute readings of the
+    replica's own clock* (``t2`` and the reply-send instant).  The
+    skew-tolerant client ignores them — absolute remote timestamps are
+    not comparable with its own clock — but a naive implementation can
+    be built on them, which is exactly what experiment A18 measures.
     """
 
     replica: str
@@ -133,6 +140,8 @@ class PerformanceUpdate:
     queue_delay_ms: float  # tq
     queue_length: int
     request: Optional[MethodRequest] = None
+    enqueued_at_ms: float = 0.0  # t2 on the replica's clock
+    sent_at_ms: float = 0.0  # reply-send instant on the replica's clock
 
 
 class OutcomeKind(Enum):
@@ -212,8 +221,10 @@ class TimingFaultServerHandler(ProtocolHandler):
         marshalling: Optional[MarshallingModel] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsCollector] = None,
+        clock: Optional[HostClock] = None,
     ) -> None:
         self.sim = sim
+        self.clock = clock if clock is not None else HostClock(sim, host=app.host)
         self.app = app
         self.transport = transport
         self.marshalling = marshalling or MarshallingModel()
@@ -251,10 +262,10 @@ class TimingFaultServerHandler(ProtocolHandler):
             self._answer_probe(message)
             return
         # MSG_REQUEST: record the enqueue time t2 and wake the consumer.
-        t2 = self.sim.now
+        t2 = self.clock.now
         self._queue.append((message, t2))
         self.tracer.emit(
-            self.sim.now, f"server.{self.host}", "server.enqueued",
+            self.clock.kernel_now, f"server.{self.host}", "server.enqueued",
             msg_id=message.msg_id, queue=len(self._queue),
         )
         if self._wakeup is not None and not self._wakeup.triggered:
@@ -286,21 +297,28 @@ class TimingFaultServerHandler(ProtocolHandler):
                 yield self._wakeup
             message, t2 = self._queue.popleft()
             self._busy = True
-            t3 = self.sim.now
+            t3 = self.clock.now
             queue_delay = t3 - t2  # tq
 
             call = message.payload["call"]
             request, demarshal_cost = self.marshalling.demarshal_request(call)
             yield self.sim.timeout(demarshal_cost)
 
-            duration = self.app.service_duration(request.method, self.sim.now)
+            # The load profile is a physical process: it follows the
+            # kernel clock, not this host's (possibly faulty) view of it.
+            duration = self.app.service_duration(
+                request.method, self.clock.kernel_now
+            )
+            service_started = self.clock.now
             self.app.begin_service()
             try:
                 yield self.sim.timeout(duration)
                 value = self.app.execute(request)
             finally:
                 self.app.end_service()
-            service_time = duration  # ts: Stage 4 only
+            # ts (Stage 4 only), *measured on this host's clock*: exact
+            # on a healthy clock, corrupted by drift/step/freeze faults.
+            service_time = self.clock.elapsed_since(service_started, duration)
 
             signature = self.app.servant.interface.method(request.method)
             reply, marshal_cost = self.marshalling.marshal_reply(value, signature)
@@ -310,11 +328,13 @@ class TimingFaultServerHandler(ProtocolHandler):
             if self.crashed:
                 return  # crashed mid-service: the reply is lost
             self.tracer.emit(
-                self.sim.now, f"server.{self.host}", "server.serviced",
+                self.clock.kernel_now, f"server.{self.host}", "server.serviced",
                 msg_id=message.msg_id, tq=queue_delay, ts=service_time,
                 demarshal=demarshal_cost, marshal=marshal_cost,
             )
-            self._send_reply(message, request, reply, service_time, queue_delay)
+            self._send_reply(
+                message, request, reply, service_time, queue_delay, t2
+            )
 
     def _send_reply(
         self,
@@ -323,6 +343,7 @@ class TimingFaultServerHandler(ProtocolHandler):
         reply: MarshalledReply,
         service_time: float,
         queue_delay: float,
+        enqueued_at: float,
     ) -> None:
         perf = PerformanceUpdate(
             replica=self.host,
@@ -331,6 +352,8 @@ class TimingFaultServerHandler(ProtocolHandler):
             queue_delay_ms=queue_delay,
             queue_length=self.queue_length,
             request=request,
+            enqueued_at_ms=enqueued_at,
+            sent_at_ms=self.clock.now,
         )
         reply_msg = Message(
             sender=self.host,
@@ -484,6 +507,12 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
     probe_staleness_ms:
         When set, replicas whose records are older than this are probed
         out of band every ``probe_interval_ms`` (§8 extension).
+    bootstrap_probes:
+        When true, every group member is probed once at startup so each
+        replica has a baseline round trip measured on this gateway's own
+        clock before any replica-reported timing is trusted — the
+        reference the clock-sanity deflation test compares against.
+        Off by default (no extra traffic in legacy configurations).
     health_config:
         When set, the handler runs a per-replica
         :class:`~repro.health.HealthMonitor` fed by reply outcomes,
@@ -501,6 +530,12 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         ``[deadline, factor × deadline]``.  ``None`` inherits the
         ``health_config`` default (and stays disabled without one), so
         legacy configurations keep the fixed timeout bit-for-bit.
+    clock:
+        The :class:`~repro.sim.hostclock.HostClock` of this gateway's
+        host.  Every timestamp the handler takes (``t0``/``t1``/``t4``,
+        probe send/receive times, staleness reads, health evidence) is
+        read from it; scheduling stays on the kernel.  Defaults to a
+        pristine clock, which reads identically to the kernel.
     overload_config:
         When set, the handler runs the overload subsystem
         (docs/ARCHITECTURE.md §6): a :class:`~repro.overload.LoadTracker`
@@ -536,6 +571,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         gateway_window_size: Optional[int] = None,
         probe_staleness_ms: Optional[float] = None,
         probe_interval_ms: float = 200.0,
+        bootstrap_probes: bool = False,
         estimator_factory: Optional[
             Callable[[InformationRepository], ResponseTimeEstimator]
         ] = None,
@@ -545,6 +581,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         overload_config: Optional[OverloadConfig] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsCollector] = None,
+        clock: Optional[HostClock] = None,
     ) -> None:
         if qos.service != interface.name:
             raise ValueError(
@@ -578,6 +615,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
                 f"{adaptive_timeout_quantile}"
             )
         self.sim = sim
+        self.clock = clock if clock is not None else HostClock(sim, host=host)
         self.host = host
         self.transport = transport
         self.group_comm = group_comm
@@ -598,11 +636,31 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         self.gateway_window_size = gateway_window_size
         self.probe_staleness_ms = probe_staleness_ms
         self.probe_interval_ms = float(probe_interval_ms)
+        self.bootstrap_probes = bool(bootstrap_probes)
         self.adaptive_timeout_quantile = adaptive_timeout_quantile
         # Pluggable estimator construction (e.g. QueueScaledEstimator).
         self.estimator_factory = estimator_factory
         self.probes_sent = 0
         self.probes_expired = 0
+
+        # Clock-sanity state (docs/ARCHITECTURE.md §10): replica-reported
+        # measurements are admitted only when coherent with this
+        # gateway's own same-clock observations.  The trusted round trips
+        # come from probes — measured entirely on this host's clock.
+        self.clock_rejections = 0
+        self._trusted_rtt: Dict[str, float] = {}
+        self._clock_sanity = (
+            health_config is not None
+            and health_config.clock_anomaly_after is not None
+        )
+        self._clock_slack_ms = (
+            health_config.clock_slack_ms if health_config is not None else 1.0
+        )
+        self._clock_deflation_factor = (
+            health_config.clock_deflation_factor
+            if health_config is not None
+            else 6.0
+        )
 
         # Performance state is kept per request class.  The default class
         # always exists; `self.repository` / `self.estimator` alias it for
@@ -642,7 +700,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         self.quarantined_traffic: List[Tuple[int, Tuple[str, ...]]] = []
         if health_config is not None:
             self.health = HealthMonitor(health_config, listener=health_listener)
-            self.health.sync_members(self._members, self.sim.now)
+            self.health.sync_members(self._members, self.clock.now)
             detector = getattr(group_comm, "failure_detector", None)
             if detector is not None:
                 self._crash_unsubscribe = detector.on_crash(
@@ -652,6 +710,8 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
             self.sim.call_in(
                 self.probe_interval_ms, self._probe_tick, daemon=True
             )
+        if self.bootstrap_probes:
+            self.sim.call_in(0.0, self._bootstrap_probe_round, daemon=True)
 
         # Overload subsystem (docs/ARCHITECTURE.md §6): tracker always,
         # governor wraps the policy, admission controls the dispatch path.
@@ -718,11 +778,11 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         self._members = list(view.members)
         self._sync_repositories()
         if self.health is not None:
-            self.health.sync_members(self._members, self.sim.now)
+            self.health.sync_members(self._members, self.clock.now)
         if self.load_tracker is not None:
             self.load_tracker.sync_members(self._members)
         self.tracer.emit(
-            self.sim.now, f"client.{self.host}", "client.view",
+            self.clock.kernel_now, f"client.{self.host}", "client.view",
             view=view.view_id, members=list(view.members),
         )
         if joined:
@@ -736,7 +796,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         so this can safely receive every declaration.
         """
         if self.health is not None:
-            self.health.record_crash(host_name, self.sim.now)
+            self.health.record_crash(host_name, self.clock.now)
 
     def _send_subscription(self) -> None:
         members = self._mgroup.members()
@@ -767,7 +827,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
     # -- request path (RequestInterceptor) ------------------------------------------
     def submit(self, request: MethodRequest) -> Event:
         """Intercept a client invocation; returns its outcome event."""
-        t0 = self.sim.now
+        t0 = self.clock.now
         outcome_event = self.sim.event()
         signature = self.interface.method(request.method)
         call, marshal_cost = self.marshalling.marshal_request(request, signature)
@@ -813,7 +873,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         pending = _PendingRequest(
             request=request,
             t0=t0,
-            t1=self.sim.now,
+            t1=self.clock.now,
             event=outcome_event,
             decision=decision,
         )
@@ -847,7 +907,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
             if violated:
                 self.quarantined_traffic.append((message.msg_id, violated))
         self.tracer.emit(
-            self.sim.now, f"client.{self.host}", "client.sent",
+            self.clock.kernel_now, f"client.{self.host}", "client.sent",
             msg_id=message.msg_id, selected=list(sent_to), t0=t0,
             bootstrap=decision.meta.get("bootstrap", False),
         )
@@ -906,7 +966,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
             replicas=replicas,
             estimator=self._estimator_for(class_key),
             qos=self.qos,
-            now_ms=self.sim.now,
+            now_ms=self.clock.now,
             rng=self.rng,
             distance=self.distance,
             health=self.health,
@@ -962,7 +1022,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         meta: SelectionMeta = {**decision.meta, "shed_load": load}
         outcome = ReplyOutcome(
             value=None,
-            response_time_ms=self.sim.now - t0,
+            response_time_ms=max(0.0, self.clock.now - t0),
             timely=False,
             timed_out=False,
             replica=None,
@@ -972,7 +1032,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
             shed=True,
         )
         self.tracer.emit(
-            self.sim.now, f"client.{self.host}", "client.shed", load=load
+            self.clock.kernel_now, f"client.{self.host}", "client.shed", load=load
         )
         outcome_event.succeed(outcome)
 
@@ -986,31 +1046,44 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
             self._on_probe_reply(message)
             return
         # MSG_REPLY
-        t4 = self.sim.now
+        t4 = self.clock.now
         perf = message.payload["perf"]
         replica = message.payload["replica"]
         pending = self._pending.get(message.correlation_id)
 
-        # Every reply — first or redundant — refreshes the repository
-        # (paper §5.4.1: redundant replies are discarded but mined).
-        self._record_perf(perf)
+        # Every reply — first or redundant — is mined for performance
+        # data (paper §5.4.1), but only when the replica's reported
+        # timings are coherent with this gateway's own same-clock
+        # observations: one sample from a faulty clock poisons the
+        # sliding windows for the next ``l`` requests.
+        recorded = False
+        coherent = True
+        if pending is None:
+            self._record_perf(perf)
+        elif self._reply_coherent(pending, perf, t4):
+            recorded = self._record_perf(perf)
+        else:
+            coherent = False
+            self._note_clock_anomaly(replica, t4)
         if pending is not None:
-            gateway_delay = (
-                t4
-                - pending.t1
-                - perf.queue_delay_ms
-                - perf.service_time_ms
-            )
-            self._record_gateway_delay(
-                replica, gateway_delay, t4,
-                class_key=self._classify(pending.request),
-            )
+            if recorded:
+                gateway_delay = self._gateway_delay_sample(pending, perf, t4)
+                self._record_gateway_delay(
+                    replica, gateway_delay, t4,
+                    class_key=self._classify(pending.request),
+                )
+                if self.health is not None:
+                    self.health.record_coherent_sample(replica)
             pending.replied.add(replica)
-            if self.health is not None:
-                # Every reply — first or redundant — is health evidence:
-                # within the deadline a success, a straggler a timing
-                # fault.  (A timely reply from a quarantined replica
-                # proves liveness and re-admits it to probation.)
+            if self.health is not None and coherent:
+                # Every coherent reply — first or redundant — is health
+                # evidence: within the deadline a success, a straggler a
+                # timing fault.  (A timely reply from a quarantined
+                # replica proves liveness and re-admits it to probation.)
+                # An *incoherent* reply already became clock-anomaly
+                # evidence above; letting it also "prove liveness" would
+                # re-admit the very replica the clock quarantine just
+                # removed, flapping it through probation forever.
                 if t4 - pending.t0 <= self.qos.deadline_ms:
                     self.health.record_success(replica, t4)
                 else:
@@ -1023,7 +1096,10 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         pending.completed = True
         reply: MarshalledReply = message.payload["reply"]
         value, demarshal_cost = self.marshalling.demarshal_reply(reply)
-        response_time = t4 - pending.t0  # the paper's tr = t4 − t0
+        # The paper's tr = t4 − t0, both on this gateway's clock; clamped
+        # at zero so a backward-stepped client clock can never admit a
+        # negative response time (auditor invariant, ARCHITECTURE.md §10).
+        response_time = max(0.0, t4 - pending.t0)
         timely = response_time <= self.qos.deadline_ms
         self._account(response_time)
         outcome = ReplyOutcome(
@@ -1037,7 +1113,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
             decision_meta=pending.decision.meta.copy(),
         )
         self.tracer.emit(
-            self.sim.now, f"client.{self.host}", "client.reply",
+            self.clock.kernel_now, f"client.{self.host}", "client.reply",
             msg_id=message.correlation_id, replica=replica,
             tr=response_time, timely=timely,
         )
@@ -1081,12 +1157,12 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
                 pending.expected - pending.replied - pending.faulted
             ):
                 pending.faulted.add(replica)
-                self.health.record_fault(replica, self.sim.now, kind="omission")
+                self.health.record_fault(replica, self.clock.now, kind="omission")
         if pending.completed:
             return  # normal case: reply already delivered; just forget it
         pending.completed = True
         pending.expired = True
-        response_time = self.sim.now - pending.t0
+        response_time = max(0.0, self.clock.now - pending.t0)
         self._account(response_time)
         self.metrics.increment(
             "tf.timeouts", labels={"client": self.host, "service": self.service}
@@ -1102,7 +1178,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
             decision_meta=pending.decision.meta.copy(),
         )
         self.tracer.emit(
-            self.sim.now, f"client.{self.host}", "client.timeout", msg_id=msg_id
+            self.clock.kernel_now, f"client.{self.host}", "client.timeout", msg_id=msg_id
         )
         pending.event.succeed(outcome)
 
@@ -1113,12 +1189,12 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
             for repo in self._repositories.values():
                 for name in repo.replicas():
                     if (
-                        repo.record(name).staleness(self.sim.now)
+                        repo.record(name).staleness(self.clock.now)
                         > self.probe_staleness_ms
                     ):
                         due.add(name)
         if self.health is not None:
-            due.update(self.health.due_probes(self.sim.now))
+            due.update(self.health.due_probes(self.clock.now))
         # A replica with a probe already in flight is not probed again —
         # neither by the staleness path (its window going stale mid-probe
         # must not double-probe it) nor by the health path.
@@ -1126,6 +1202,14 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         for replica in sorted(due - in_flight):
             self._send_probe(replica)
         self.sim.call_in(self.probe_interval_ms, self._probe_tick, daemon=True)
+
+    def _bootstrap_probe_round(self) -> None:
+        """Probe every member once, unconditionally (startup baseline)."""
+        in_flight = {
+            replica for _sent, replica in self._probes_in_flight.values()
+        }
+        for replica in sorted(set(self._members) - in_flight):
+            self._send_probe(replica)
 
     def _send_probe(self, replica: str) -> None:
         message = Message(
@@ -1135,10 +1219,10 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
             payload={"service": self.service, "client": self.host},
             size_bytes=64,
         )
-        self._probes_in_flight[message.msg_id] = (self.sim.now, replica)
+        self._probes_in_flight[message.msg_id] = (self.clock.now, replica)
         self.probes_sent += 1
         if self.health is not None:
-            self.health.note_probe_sent(replica, self.sim.now)
+            self.health.note_probe_sent(replica, self.clock.now)
         self.transport.send(message)
         # A probe whose reply is lost must not pin its record forever:
         # give up on it after one probe interval (it will be re-probed if
@@ -1149,7 +1233,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
             daemon=True,
         )
         self.tracer.emit(
-            self.sim.now, f"client.{self.host}", "client.probe", replica=replica
+            self.clock.kernel_now, f"client.{self.host}", "client.probe", replica=replica
         )
 
     def quiesce_probes(self) -> None:
@@ -1170,7 +1254,7 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
             return
         self.probes_expired += 1
         if self.health is not None:
-            self.health.record_probe_failure(entry[1], self.sim.now)
+            self.health.record_probe_failure(entry[1], self.clock.now)
 
     def _on_probe_reply(self, message: Message) -> None:
         entry = self._probes_in_flight.pop(message.correlation_id, None)
@@ -1178,24 +1262,106 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
             return
         sent_at, _target = entry
         replica = message.payload["replica"]
-        round_trip = self.sim.now - sent_at
+        # Measured entirely on this gateway's clock — the trusted T_i
+        # baseline replica-reported timings are checked against.
+        round_trip = max(0.0, self.clock.now - sent_at)
+        self._trusted_rtt[replica] = round_trip
         queue_length = message.payload["queue_length"]
         for repo in self._repositories.values():
             if replica not in repo:
                 continue
             self._record_gateway_delay_into(
-                repo, replica, round_trip, self.sim.now
+                repo, replica, round_trip, self.clock.now
             )
             repo.record(replica).queue_length = queue_length
         if self.load_tracker is not None and replica in self._members:
             self.load_tracker.observe_probe(
-                replica, queue_length, self.sim.now
+                replica, queue_length, self.clock.now
             )
         if self.health is not None:
-            self.health.record_probe_success(replica, self.sim.now)
+            self.health.record_probe_success(replica, self.clock.now)
+
+    # -- clock-sanity admission (docs/ARCHITECTURE.md §10) -----------------------
+    def _admit_perf_sample(
+        self, perf: PerformanceUpdate
+    ) -> Optional[PerformanceUpdate]:
+        """Admission control for replica-reported measurements.
+
+        A negative duration is physically impossible — no healthy clock
+        measures one — so the whole sample is rejected rather than
+        clamped: a clamped zero would still poison the window with a
+        fabricated "instant" service.  Subclasses that deliberately
+        trust faulty reports (the A18 naive baseline) override this.
+        """
+        if perf.service_time_ms < 0.0 or perf.queue_delay_ms < 0.0:
+            return None
+        return perf
+
+    def _reply_coherent(
+        self, pending: _PendingRequest, perf: PerformanceUpdate, t4: float
+    ) -> bool:
+        """Is a reply's reported timing coherent with our own clock?
+
+        Two same-clock cross-checks, both free of any synchronization
+        assumption because every trusted quantity (``t1``, ``t4``, probe
+        round trips) was read on this gateway's clock:
+
+        * **inflation** — the replica cannot have spent longer queueing
+          and servicing than the whole round trip took
+          (``tq + ts ≤ t4 − t1 + slack``);
+        * **deflation** — a replica claiming near-zero ``tq + ts`` while
+          the round trip dwarfs the probed (same-clock) round trip is
+          under-reporting: its clock is slow, stopped, or stepped.  Only
+          active with the clock-sanity health signal enabled, since it
+          needs a trusted probe round trip to compare against.
+        """
+        reported = perf.queue_delay_ms + perf.service_time_ms
+        if reported > t4 - pending.t1 + self._clock_slack_ms:
+            return False
+        if self._clock_sanity and reported < 1.0:
+            trusted = self._trusted_rtt.get(perf.replica)
+            if trusted is not None:
+                implied = t4 - pending.t1 - reported
+                ceiling = (
+                    self._clock_deflation_factor * max(trusted, 1.0)
+                    + self._clock_slack_ms
+                )
+                if implied > ceiling:
+                    return False
+        return True
+
+    def _gateway_delay_sample(
+        self, pending: _PendingRequest, perf: PerformanceUpdate, t4: float
+    ) -> float:
+        """The T_i sample a coherent reply contributes.
+
+        ``t4 − t1`` is measured entirely on this gateway's clock;
+        subtracting the replica's *duration* reports (never its absolute
+        stamps) keeps constant skew out of the estimate by construction.
+        """
+        return t4 - pending.t1 - perf.queue_delay_ms - perf.service_time_ms
+
+    def _note_clock_anomaly(self, replica: str, now_ms: float) -> None:
+        """One physically impossible / incoherent sample was dropped."""
+        self.clock_rejections += 1
+        self.metrics.increment(
+            "tf.clock_rejections",
+            labels={"client": self.host, "service": self.service},
+        )
+        self.tracer.emit(
+            self.clock.kernel_now, f"client.{self.host}",
+            "client.clock-anomaly", replica=replica,
+        )
+        if self.health is not None:
+            self.health.record_clock_anomaly(replica, now_ms)
 
     # -- accounting --------------------------------------------------------------
-    def _record_perf(self, perf: PerformanceUpdate) -> None:
+    def _record_perf(self, perf: PerformanceUpdate) -> bool:
+        admitted = self._admit_perf_sample(perf)
+        if admitted is None:
+            self._note_clock_anomaly(perf.replica, self.clock.now)
+            return False
+        perf = admitted
         class_key = (
             self._classify(perf.request)
             if perf.request is not None
@@ -1203,13 +1369,13 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         )
         repo = self._repo_for(class_key)
         if perf.replica not in repo:
-            return  # evicted replica; a stale push must not resurrect it
+            return False  # evicted replica; a stale push must not resurrect it
         repo.record_performance(
             perf.replica,
             perf.service_time_ms,
             perf.queue_delay_ms,
             perf.queue_length,
-            self.sim.now,
+            self.clock.now,
         )
         if self.load_tracker is not None:
             self.load_tracker.observe_reply(
@@ -1217,8 +1383,9 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
                 perf.queue_length,
                 perf.queue_delay_ms,
                 perf.service_time_ms,
-                self.sim.now,
+                self.clock.now,
             )
+        return True
 
     def _record_gateway_delay(
         self, replica: str, delay_ms: float, now_ms: float, class_key: str
@@ -1287,6 +1454,23 @@ class TimingFaultClientHandler(ProtocolHandler, RequestInterceptor):
         )
         if resurrected:
             leaks["resurrected_replicas"] = resurrected
+        # Timestamp discipline (ARCHITECTURE.md §10): every repository
+        # stamp comes from this gateway's own clock, so no record can be
+        # newer than the clock's current reading.  A future stamp means
+        # a replica's absolute timestamp was admitted — the exact bug
+        # class the clock plane exists to catch.
+        now_local = self.clock.now
+        future_stamped = sorted(
+            {
+                name
+                for repo in self._repositories.values()
+                for name in repo.replicas()
+                if (repo.record(name).last_update_ms or 0.0)
+                > now_local + 1e-6
+            }
+        )
+        if future_stamped:
+            leaks["future_stamped_records"] = future_stamped
         if self.quarantined_traffic:
             # The no-traffic-to-quarantined invariant (ARCHITECTURE.md
             # §5): any entry here is a selection-layer bug.

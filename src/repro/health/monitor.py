@@ -45,6 +45,10 @@ class ReplicaHealth:
     #: Consecutive reply-loss faults (omission / probe-failure) with no
     #: intervening contact of any kind — the unreachability evidence.
     consecutive_omissions: int = 0
+    #: Consecutive incoherent performance reports (clock-sanity evidence;
+    #: a coherent report resets the streak).
+    consecutive_clock_anomalies: int = 0
+    clock_anomalies: int = 0
     faults_total: int = 0
     successes_total: int = 0
     quarantine_count: int = 0
@@ -224,6 +228,41 @@ class HealthMonitor:
             self._quarantine(record, now_ms, kind)
         elif record.state is HealthState.PROBATION:
             self._quarantine(record, now_ms, kind)
+
+    def record_clock_anomaly(self, name: str, now_ms: float) -> None:
+        """An incoherent performance report from ``name``.
+
+        The handler rejected a report whose timestamps are physically
+        impossible against its own round-trip measurements (see
+        ``HealthConfig.clock_anomaly_after``).  The report itself never
+        enters the repository; this method only accumulates the evidence
+        and quarantines the replica — reason ``"clock_fault"`` — once the
+        streak crosses the threshold.  Re-admission rides the normal
+        backoff-probe → PROBATION path: after the fault window resyncs,
+        the replica's reports turn coherent again and it earns its way
+        back in.
+        """
+        record = self._replicas.get(name)
+        if record is None:
+            return
+        record.clock_anomalies += 1
+        record.consecutive_clock_anomalies += 1
+        record.faults_total += 1
+        record.consecutive_successes = 0
+        record.last_fault_kind = "clock"
+        if (
+            self.config.clock_anomaly_after is not None
+            and record.consecutive_clock_anomalies
+            >= self.config.clock_anomaly_after
+            and record.state is not HealthState.QUARANTINED
+        ):
+            self._quarantine(record, now_ms, "clock_fault")
+
+    def record_coherent_sample(self, name: str) -> None:
+        """A performance report from ``name`` passed the coherence checks."""
+        record = self._replicas.get(name)
+        if record is not None:
+            record.consecutive_clock_anomalies = 0
 
     def record_crash(self, name: str, now_ms: float) -> None:
         """The failure detector declared ``name`` crashed."""

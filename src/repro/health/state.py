@@ -48,7 +48,7 @@ __all__ = ["FaultKind", "HealthState", "HealthConfig", "HealthEvent"]
 #: ``Literal`` rather than an enum so call sites keep passing the plain
 #: strings they always did (``record_fault(name, now, kind="omission")``)
 #: while mypy rejects any kind outside the set.
-FaultKind = Literal["timing", "omission", "crash", "probe-failure"]
+FaultKind = Literal["timing", "omission", "crash", "probe-failure", "clock"]
 
 
 class HealthState(enum.Enum):
@@ -110,6 +110,22 @@ class HealthConfig:
         merely slow one: grey failures keep answering probes, which
         resets the streak, so only true silence takes the fast path.
         ``None`` (the default) disables the shortcut.
+    clock_anomaly_after:
+        Consecutive incoherent performance reports (timestamps that are
+        physically impossible against the gateway's own round-trip
+        measurements) that quarantine a replica directly with reason
+        ``"clock_fault"``.  A coherent report resets the streak, so an
+        isolated straggler sample never quarantines.  ``None`` (the
+        default) disables clock-sanity quarantine; the handler's
+        inflation rejection (reported intervals exceeding the whole
+        round trip) stays on regardless.
+    clock_deflation_factor / clock_slack_ms:
+        The deflation test the handler runs when clock sanity is on: a
+        report claiming near-zero server time while the implied
+        gateway-side delay exceeds ``clock_deflation_factor`` × the
+        probed round trip (plus ``clock_slack_ms`` absolute slack) is
+        incoherent.  The slack also pads the inflation test against
+        float residue.
     """
 
     suspect_after: int = 2
@@ -123,6 +139,9 @@ class HealthConfig:
     backoff_max_ms: float = 30_000.0
     adaptive_timeout_quantile: Optional[float] = 0.99
     unreachable_after: Optional[int] = None
+    clock_anomaly_after: Optional[int] = None
+    clock_deflation_factor: float = 6.0
+    clock_slack_ms: float = 1.0
 
     def __post_init__(self) -> None:
         if self.suspect_after < 1:
@@ -170,4 +189,17 @@ class HealthConfig:
         if self.unreachable_after is not None and self.unreachable_after < 1:
             raise ValueError(
                 f"unreachable_after must be >= 1, got {self.unreachable_after}"
+            )
+        if self.clock_anomaly_after is not None and self.clock_anomaly_after < 1:
+            raise ValueError(
+                f"clock_anomaly_after must be >= 1, got {self.clock_anomaly_after}"
+            )
+        if self.clock_deflation_factor < 1.0:
+            raise ValueError(
+                "clock_deflation_factor must be >= 1, got "
+                f"{self.clock_deflation_factor}"
+            )
+        if self.clock_slack_ms < 0.0:
+            raise ValueError(
+                f"clock_slack_ms must be >= 0, got {self.clock_slack_ms}"
             )

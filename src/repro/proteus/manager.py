@@ -27,6 +27,7 @@ from ..orb.object import Servant
 from ..replica.faults import FaultInjector
 from ..replica.load import HostActivity, ServiceProfile
 from ..replica.server import ReplicaApplication
+from ..sim.hostclock import ClockRegistry
 from ..sim.kernel import Simulator
 from ..sim.random import RandomStreams
 from ..sim.trace import NullTracer, Tracer
@@ -76,8 +77,13 @@ class DependabilityManager:
         marshalling: Optional[MarshallingModel] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsCollector] = None,
+        clocks: Optional[ClockRegistry] = None,
     ):
         self.sim = sim
+        # Per-host virtual clocks; replicas started later (including
+        # spares promoted by maintain_replication) stamp on the same
+        # clock objects the clock-fault drivers manipulate.
+        self.clocks = clocks if clocks is not None else ClockRegistry(sim)
         self.lan = lan
         self.transport = transport
         self.group_comm = group_comm
@@ -167,6 +173,7 @@ class DependabilityManager:
             marshalling=self.marshalling,
             tracer=self.tracer,
             metrics=self.metrics,
+            clock=self.clocks.clock(host),
         )
         self.gateway_for(host).load_handler(handler)
         self._handlers[key] = handler

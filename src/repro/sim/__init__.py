@@ -8,6 +8,7 @@ tracing (:class:`Tracer`).
 """
 
 from .events import AllOf, AnyOf, Event, EventState, Interrupt, SimulationError, Timeout
+from .hostclock import ClockRegistry, HostClock
 from .kernel import Simulator
 from .process import Process
 from .random import (
@@ -28,6 +29,8 @@ from .trace import NullTracer, TraceRecord, Tracer
 
 __all__ = [
     "Simulator",
+    "HostClock",
+    "ClockRegistry",
     "Process",
     "Event",
     "EventState",

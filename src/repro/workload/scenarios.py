@@ -34,6 +34,7 @@ from ..orb.orb import Orb
 from ..proteus.manager import DependabilityManager, ServiceSpec
 from ..replica.faults import CrashSchedule, FaultInjector
 from ..replica.load import ConstantLoad, LoadModel, ServiceProfile
+from ..sim.hostclock import ClockRegistry
 from ..sim.kernel import Simulator
 from ..sim.random import Constant, Distribution, Normal, RandomStreams
 from ..sim.trace import NullTracer, Tracer
@@ -138,6 +139,9 @@ class Scenario:
         cfg = self.config
 
         self.sim = Simulator()
+        # One virtual clock per host; handlers stamp on their own host's
+        # clock so the clock-fault plane can de-synchronize them.
+        self.clocks = ClockRegistry(self.sim)
         self.streams = RandomStreams(seed=cfg.seed)
         self.tracer = Tracer() if cfg.trace else NullTracer()
         self.metrics = MetricsCollector(keep_samples=cfg.keep_samples)
@@ -189,6 +193,7 @@ class Scenario:
             marshalling=self.marshalling,
             tracer=self.tracer,
             metrics=self.metrics,
+            clocks=self.clocks,
         )
         self.injector = FaultInjector(self.sim, self.lan, tracer=self.tracer)
         self.manager.attach_injector(self.injector)
@@ -310,6 +315,7 @@ class Scenario:
             )
         if cfg.overload_config is not None:
             handler_kwargs.setdefault("overload_config", cfg.overload_config)
+        handler_kwargs.setdefault("clock", self.clocks.clock(name))
         handler = handler_cls(
             sim=self.sim,
             host=name,

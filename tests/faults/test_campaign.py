@@ -43,6 +43,11 @@ from repro.gateway.handlers.timing_fault import TimingFaultClientHandler
 #: minutes; the full 200-schedule campaign is experiment A17).
 SMALL = CampaignConfig(schedules=8, base_seed=0)
 
+#: SMALL with the opt-in clock family enabled.  The default stays 0 so
+#: historic campaign digests are untouched; composing clock windows into
+#: the mix is ISSUE 10's chaos acceptance surface.
+CLOCKED = CampaignConfig(schedules=8, base_seed=0, max_clock_windows=2)
+
 
 class LeakyTimeoutClient(TimingFaultClientHandler):
     """Deliberately buggy client: timeout expiry leaks the request record.
@@ -61,6 +66,31 @@ class LeakyTimeoutClient(TimingFaultClientHandler):
         super()._expire(msg_id)
         if pending is not None and msg_id not in self._pending:
             self._pending[msg_id] = pending
+
+
+class ClockTrustingClient(TimingFaultClientHandler):
+    """Deliberately buggy client: it trusts replica send timestamps.
+
+    Every reply's ``sent_at_ms`` — an absolute reading of the *replica's*
+    clock — ratchets a freshness watermark, and a request record is only
+    forgotten once the local clock has passed that watermark ("a fresher
+    reply might still be in flight").  Pristine replicas always stamp in
+    the past, so clean scenarios never trigger it; one forward-stepped or
+    positively-skewed replica pushes the watermark ahead of the local
+    clock and every record dropped in that interval leaks — the
+    cross-clock trust bug the clock plane's auditor invariants catch.
+    """
+
+    _watermark_ms = 0.0
+
+    def _admit_perf_sample(self, perf):
+        self._watermark_ms = max(self._watermark_ms, perf.sent_at_ms)
+        return super()._admit_perf_sample(perf)
+
+    def _forget(self, msg_id):
+        if self.clock.now < self._watermark_ms:
+            return None  # "a fresher reply is still in flight" — the bug
+        return super()._forget(msg_id)
 
 
 class TestCampaignConfig:
@@ -95,6 +125,16 @@ class TestCampaignConfig:
             "--replay 9:4:abcdef012345"
         )
 
+    def test_replay_line_carries_the_clock_knob(self):
+        # A non-default schedule knob must ride along in the recipe or
+        # the replay redraws a different schedule and dies on the digest
+        # check.  The default-0 line above stays byte-identical.
+        line = CLOCKED.replay_line(4, "abcdef0123456789")
+        assert line == (
+            "python -m repro.experiments.chaos_campaign "
+            "--replay 0:4:abcdef012345 --clock-windows 2"
+        )
+
 
 class TestComposedSchedules:
     def test_drawing_is_deterministic(self):
@@ -121,12 +161,47 @@ class TestComposedSchedules:
         assert len(schedule.degradations) <= cfg.max_degradations
         assert len(schedule.overloads) <= cfg.max_overload_windows
         assert len(schedule.partitions) <= cfg.max_partition_windows
+        assert len(schedule.clocks) <= cfg.max_clock_windows
 
     def test_some_scenario_draws_a_partition(self):
         # The composed mix must actually exercise the new family.
         assert any(
             draw_composed_schedule(SMALL, i).partitions for i in range(8)
         )
+
+    def test_some_scenario_draws_a_clock_fault(self):
+        assert any(
+            draw_composed_schedule(CLOCKED, i).clocks for i in range(8)
+        )
+
+    def test_clock_family_is_opt_in_and_perturbs_nothing(self):
+        # max_clock_windows defaults to 0 (schedule digests are frozen
+        # history), and enabling it must leave every other family of the
+        # same scenario byte-identical — the clock count is the LAST mix
+        # draw and the windows come from their own named substreams.
+        for index in range(4):
+            plain = draw_composed_schedule(SMALL, index)
+            clocked = draw_composed_schedule(CLOCKED, index)
+            assert plain.clocks == ()
+            for family in (
+                "drops",
+                "delays",
+                "duplicates",
+                "crashes",
+                "churn",
+                "degradations",
+                "overloads",
+                "partitions",
+            ):
+                assert getattr(clocked, family) == getattr(plain, family)
+
+    def test_flatten_rebuild_round_trips_clock_windows(self):
+        schedule = next(
+            draw_composed_schedule(CLOCKED, i)
+            for i in range(8)
+            if draw_composed_schedule(CLOCKED, i).clocks
+        )
+        assert rebuild_schedule(flatten_schedule(schedule)) == schedule
 
     @pytest.mark.parametrize("index", range(4))
     def test_flatten_rebuild_round_trip(self, index):
@@ -166,6 +241,17 @@ class TestCampaign:
         serial = run_campaign(SMALL, workers=1)
         fanned = run_campaign(SMALL, workers=2)
         assert fanned.workers == 2
+        assert fanned.digest == serial.digest
+        assert fanned.outcomes == serial.outcomes
+
+    def test_clocked_campaign_is_clean_and_worker_count_invariant(self):
+        # ISSUE 10 acceptance: with clock windows composed into the mix
+        # the campaign still merges 1-vs-N bit-identically, and the
+        # skew-tolerant stack rides the clock faults without tripping a
+        # single invariant or QoS floor.
+        serial = run_campaign(CLOCKED, workers=1)
+        assert serial.clean
+        fanned = run_campaign(CLOCKED, workers=2)
         assert fanned.digest == serial.digest
         assert fanned.outcomes == serial.outcomes
 
@@ -258,6 +344,49 @@ class TestSeededBugCapture:
         assert len(remaining) <= 3
         assert len(remaining) < len(flatten_schedule(drawn))
         assert fails(minimal)
+
+
+def _first_clock_trust_failure(cfg: CampaignConfig) -> Optional[int]:
+    """Index of the first scenario the clock-trust bug fails, else ``None``."""
+    for index in range(cfg.schedules):
+        outcome = run_scenario(cfg, index, handler_cls=ClockTrustingClient)
+        if any("leaked pending" in v for v in outcome.violations):
+            return index
+    return None
+
+
+class TestSeededClockBugCapture:
+    """ISSUE 10 acceptance: a clock-trust bug is caught and ddmin-shrunk."""
+
+    def test_campaign_catches_the_clock_bug_and_shrinks_it(self):
+        cfg = CLOCKED
+        index = _first_clock_trust_failure(cfg)
+        assert index is not None, "no scenario tripped the seeded clock bug"
+        outcome = run_scenario(cfg, index, handler_cls=ClockTrustingClient)
+        assert outcome.failed
+        assert "--replay" in outcome.replay
+        assert "--clock-windows 2" in outcome.replay
+        # The same schedule is clean under the correct client: the
+        # failure is the bug's, not the campaign's.
+        assert not run_scenario(cfg, index).failed
+
+        def fails(candidate: FaultSchedule) -> bool:
+            rerun = run_scenario(
+                cfg,
+                index,
+                handler_cls=ClockTrustingClient,
+                schedule=candidate,
+            )
+            return any("leaked pending" in v for v in rerun.violations)
+
+        drawn = draw_composed_schedule(cfg, index)
+        minimal = shrink_schedule(drawn, fails)
+        remaining = flatten_schedule(minimal)
+        assert len(remaining) <= 3
+        assert fails(minimal)
+        # The 1-minimal reproducer keeps a clock window: the trigger is
+        # the clock fault, not the ambient network faults around it.
+        assert minimal.clocks
 
 
 class TestCli:

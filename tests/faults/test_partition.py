@@ -18,6 +18,7 @@ import numpy as np
 import pytest
 
 from repro.faultinject import (
+    CrashRestartFault,
     FaultSchedule,
     FaultyTransport,
     PartitionDriver,
@@ -460,28 +461,32 @@ class TestPartitionDriver:
         assert inner.lost_count == 1
 
 
+def _vantage_stack():
+    """A stack whose detector observes from the client's vantage."""
+    stack = FaultStack()
+    detector = FailureDetector(
+        stack.sim,
+        stack.lan,
+        poll_interval_ms=10.0,
+        confirm_polls=2,
+        vantage="c-1",
+    )
+    stack.group_comm = GroupCommunication(
+        stack.sim,
+        stack.lan,
+        stack.transport,
+        notify_delay_ms=1.0,
+        failure_detector=detector,
+    )
+    stack.add_client("c-1")
+    stack.add_server("s-1")
+    stack.add_server("s-2")
+    return stack, detector
+
+
 class TestHealReconciliation:
     def _partitioned_stack(self):
-        """A stack whose detector observes from the client's vantage."""
-        stack = FaultStack()
-        detector = FailureDetector(
-            stack.sim,
-            stack.lan,
-            poll_interval_ms=10.0,
-            confirm_polls=2,
-            vantage="c-1",
-        )
-        stack.group_comm = GroupCommunication(
-            stack.sim,
-            stack.lan,
-            stack.transport,
-            notify_delay_ms=1.0,
-            failure_detector=detector,
-        )
-        stack.add_client("c-1")
-        stack.add_server("s-1")
-        stack.add_server("s-2")
-        return stack, detector
+        return _vantage_stack()
 
     def test_partition_evicts_and_heal_rejoins(self):
         stack, detector = self._partitioned_stack()
@@ -564,3 +569,79 @@ class TestHealReconciliation:
         assert "s-1" in stack.group_comm.view(SERVICE)
         assert driver.sightings_applied == 0
         assert driver.rejoins_applied == 0
+
+
+class TestFlapCrashRestartComposition:
+    """ISSUE 10 satellite: a flapping cut composed with a crash-restart.
+
+    The contract is the suspicion lifecycle: every positive liveness
+    event — a flap heal's reconciliation or a restart — routes through
+    :meth:`FailureDetector.sight`, which clears both the crash
+    declaration and the consecutive-down count.  Eviction does *not*
+    unwatch, so the poll chain keeps accumulating down samples the whole
+    time a host is gone; without the sighting reset, the first blip
+    after recovery would confirm a "crash" in a single poll.
+    """
+
+    def test_restart_after_flapping_cut_clears_stale_suspicion(self):
+        stack, detector = _vantage_stack()
+        partitions = PartitionDriver(
+            sim=stack.sim,
+            lan=stack.lan,
+            group_comm=stack.group_comm,
+            service=SERVICE,
+            replicas=["s-1", "s-2"],
+        )
+        lifecycle = stack.make_driver()
+        # Flap [50, 230), 60ms period, 50% duty: cuts at [50, 80),
+        # [110, 140), [170, 200).  The host genuinely dies during the
+        # second cut and comes back long after the window.
+        partitions.apply_partition(
+            PartitionFault(
+                side=("s-1",),
+                start_ms=50.0,
+                end_ms=230.0,
+                flap_period_ms=60.0,
+                flap_duty=0.5,
+            )
+        )
+        lifecycle.apply_crash(
+            CrashRestartFault(
+                host="s-1", crash_at_ms=120.0, restart_at_ms=400.0
+            )
+        )
+
+        # First cut: two 10ms polls from c-1 confirm, s-1 is evicted —
+        # yet it never actually crashed.
+        stack.sim.run(until=75.0)
+        assert detector.is_declared_crashed("s-1")
+        assert "s-1" not in stack.group_comm.view(SERVICE)
+        assert stack.lan.is_up("s-1")
+
+        # The heal at 80 re-sighted and rejoined it once; the heals at
+        # 140 and 200 found it genuinely down and must not resurrect it.
+        stack.sim.run(until=300.0)
+        assert detector.is_declared_crashed("s-1")
+        assert "s-1" not in stack.group_comm.view(SERVICE)
+        assert not stack.lan.is_up("s-1")
+        assert partitions.sightings_applied == 1
+        assert partitions.rejoins_applied == 1
+        assert lifecycle.crashes_applied == 1
+
+        # Restart: forget() -> sight() clears the declaration and the
+        # ~28 consecutive down samples gathered since the crash, and the
+        # fresh incarnation rejoins the view.
+        stack.sim.run(until=405.0)
+        assert not detector.is_declared_crashed("s-1")
+        assert "s-1" in stack.group_comm.view(SERVICE)
+        assert lifecycle.restarts_applied == 1
+
+        # The teeth of sight(): a single-poll blip after the restart is
+        # one fresh down sample, short of confirm_polls=2.  Had the
+        # crashed stretch's suspicion survived the sighting, this blip
+        # would insta-declare and evict again.
+        stack.sim.call_at(414.0, lambda: stack.lan.mark_down("s-1"))
+        stack.sim.call_at(423.0, lambda: stack.lan.mark_up("s-1"))
+        stack.sim.run(until=460.0)
+        assert not detector.is_declared_crashed("s-1")
+        assert "s-1" in stack.group_comm.view(SERVICE)

@@ -17,7 +17,11 @@ import hashlib
 import numpy as np
 import pytest
 
-from repro.faultinject.schedule import _draw_partition, random_fault_schedule
+from repro.faultinject.schedule import (
+    _draw_clock_fault,
+    _draw_partition,
+    random_fault_schedule,
+)
 from repro.rng import RNGManager
 
 REPLICAS = ["s-1", "s-2", "s-3"]
@@ -212,6 +216,116 @@ class TestPartitionFamily:
             for fault in schedule.partitions:
                 assert set(fault.side) <= set(REPLICAS)
                 assert fault.mode in ("symmetric", "outbound", "inbound")
+                assert fault.end_ms <= HORIZON_MS * 0.85
+                assert fault.start_ms < fault.end_ms
+
+
+class TestClockFamily:
+    """Seeding discipline of the clock-fault family (ISSUE 10)."""
+
+    def test_repr_omits_empty_clock_family(self):
+        # The frozen legacy digests hash repr(schedule); a schedule with
+        # no clock windows must render byte-identically to the
+        # pre-clock-plane dataclass repr.
+        schedule = _legacy(7)
+        assert schedule.clocks == ()
+        assert "clocks=" not in repr(schedule)
+
+    def test_repr_shows_clocks_when_drawn(self):
+        schedule = _streamed(7, clock_windows=1)
+        assert len(schedule.clocks) == 1
+        assert "clocks=" in repr(schedule)
+
+    def test_legacy_clocks_draw_after_every_other_family(self):
+        # The legacy guarantee every late family gets: clocks draw LAST
+        # on the sequential path, so enabling them leaves every earlier
+        # family — including partitions — byte-identical.
+        plain = _legacy(
+            13, degradations=2, overload_windows=2, partition_windows=2
+        )
+        extended = _legacy(
+            13,
+            degradations=2,
+            overload_windows=2,
+            partition_windows=2,
+            clock_windows=2,
+        )
+        for family in (
+            "drops",
+            "delays",
+            "duplicates",
+            "crashes",
+            "churn",
+            "degradations",
+            "overloads",
+            "partitions",
+        ):
+            assert getattr(extended, family) == getattr(plain, family)
+        assert len(extended.clocks) == 2
+
+    def test_streamed_clock_count_is_independent(self):
+        base = _streamed(
+            29, degradations=1, overload_windows=1, partition_windows=1
+        )
+        clocked = _streamed(
+            29,
+            degradations=1,
+            overload_windows=1,
+            partition_windows=1,
+            clock_windows=3,
+        )
+        for family in (
+            "drops",
+            "delays",
+            "duplicates",
+            "crashes",
+            "churn",
+            "degradations",
+            "overloads",
+            "partitions",
+        ):
+            assert getattr(clocked, family) == getattr(base, family)
+        assert len(clocked.clocks) == 3
+        # ... and window i keeps its identity as the count grows.
+        more = _streamed(
+            29,
+            degradations=1,
+            overload_windows=1,
+            partition_windows=1,
+            clock_windows=5,
+        )
+        assert more.clocks[:3] == clocked.clocks
+
+    def test_matches_manual_clock_substream_draws(self):
+        # The documented key scheme: window i of the clock family draws
+        # from substream ("faults.clock", i) of the manager.
+        manager = RNGManager(base_seed=41)
+        expected = tuple(
+            _draw_clock_fault(
+                manager.substream("faults.clock", i),
+                REPLICAS,
+                HORIZON_MS,
+                0.15,
+                200.0,
+                800.0,
+            )
+            for i in range(2)
+        )
+        schedule = _streamed(41, clock_windows=2)
+        assert schedule.clocks == expected
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_clocks_are_valid_and_drained(self, seed):
+        for schedule in (
+            _streamed(seed, clock_windows=3),
+            _legacy(seed, clock_windows=3),
+        ):
+            assert len(schedule.clocks) == 3
+            for fault in schedule.clocks:
+                assert fault.host in REPLICAS
+                assert fault.kind in (
+                    "skew", "drift", "step", "freeze", "jitter"
+                )
                 assert fault.end_ms <= HORIZON_MS * 0.85
                 assert fault.start_ms < fault.end_ms
 

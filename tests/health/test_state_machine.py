@@ -206,3 +206,62 @@ class TestMembershipAndEvents:
             "r-1": HealthState.HEALTHY,
             "r-2": HealthState.HEALTHY,
         }
+
+
+class TestClockAnomalies:
+    """The clock-sanity signal (ISSUE 10): anomaly streaks quarantine."""
+
+    def test_disabled_by_default(self):
+        monitor = make_monitor()  # clock_anomaly_after=None
+        for at in (10.0, 20.0, 30.0, 40.0):
+            monitor.record_clock_anomaly("r-1", at)
+        assert monitor.state("r-1") is HealthState.HEALTHY
+
+    def test_anomaly_streak_quarantines_with_clock_fault_reason(self):
+        monitor = make_monitor(clock_anomaly_after=3)
+        monitor.record_clock_anomaly("r-1", 10.0)
+        monitor.record_clock_anomaly("r-1", 20.0)
+        assert not monitor.is_quarantined("r-1")
+        monitor.record_clock_anomaly("r-1", 30.0)
+        assert monitor.state("r-1") is HealthState.QUARANTINED
+        assert monitor.events[-1].reason == "clock_fault"
+        assert monitor.record_for("r-1").last_fault_kind == "clock"
+
+    def test_coherent_sample_resets_the_anomaly_streak(self):
+        monitor = make_monitor(clock_anomaly_after=3)
+        monitor.record_clock_anomaly("r-1", 10.0)
+        monitor.record_clock_anomaly("r-1", 20.0)
+        monitor.record_coherent_sample("r-1")
+        monitor.record_clock_anomaly("r-1", 30.0)
+        monitor.record_clock_anomaly("r-1", 40.0)
+        assert monitor.state("r-1") is HealthState.HEALTHY
+        monitor.record_clock_anomaly("r-1", 50.0)
+        assert monitor.state("r-1") is HealthState.QUARANTINED
+
+    def test_probe_readmission_after_clock_quarantine(self):
+        # A resynced clock stops producing anomalies; the normal
+        # backoff-probe path then walks the replica back to HEALTHY.
+        monitor = make_monitor(clock_anomaly_after=2)
+        monitor.record_clock_anomaly("r-1", 10.0)
+        monitor.record_clock_anomaly("r-1", 20.0)
+        assert monitor.is_quarantined("r-1")
+        monitor.record_probe_success("r-1", 200.0)
+        assert monitor.state("r-1") is HealthState.PROBATION
+        monitor.record_probe_success("r-1", 300.0)
+        assert monitor.state("r-1") is HealthState.HEALTHY
+
+    def test_anomalies_count_as_faults_in_the_totals(self):
+        monitor = make_monitor(clock_anomaly_after=2)
+        monitor.record_clock_anomaly("r-1", 10.0)
+        record = monitor.record_for("r-1")
+        assert record.clock_anomalies == 1
+        assert record.faults_total == 1
+        assert record.consecutive_successes == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HealthConfig(clock_anomaly_after=0)
+        with pytest.raises(ValueError):
+            HealthConfig(clock_deflation_factor=0.5)
+        with pytest.raises(ValueError):
+            HealthConfig(clock_slack_ms=-1.0)

@@ -1,0 +1,18 @@
+"""RL006 clean: host clock for stamps, kernel only via the escape."""
+
+
+class Handler:
+    def __init__(self, sim, clock):
+        self.sim = sim
+        self.clock = clock
+
+    def stamp(self) -> float:
+        return self.clock.now
+
+    def trace_time(self) -> float:
+        # Physical (kernel) time, via the sanctioned escape hatch.
+        return self.clock.kernel_now
+
+    def arm(self, delay_ms: float) -> None:
+        # Scheduling stays on the kernel; only `.now` reads are banned.
+        self.sim.call_in(delay_ms, self.stamp)

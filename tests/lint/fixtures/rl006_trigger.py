@@ -1,0 +1,13 @@
+"""RL006 trigger: kernel time leaking into a host-level handler."""
+
+
+class Handler:
+    def __init__(self, sim, clock):
+        self.sim = sim
+        self.clock = clock
+
+    def stamp(self) -> float:
+        return self.sim.now
+
+    def age(self, sim, started: float) -> float:
+        return sim.now - started

@@ -22,6 +22,7 @@ CASES = [
     ("RL003", "rl003_trigger.py", "rl003_clean.py", "src/repro/core/compare.py", 2),
     ("RL004", "rl004_trigger.py", "rl004_clean.py", "src/repro/overload/meddler.py", 3),
     ("RL005", "rl005_trigger.py", "rl005_clean.py", "src/repro/sim/events.py", 1),
+    ("RL006", "rl006_trigger.py", "rl006_clean.py", "src/repro/gateway/handlers/sample.py", 2),
 ]
 
 
@@ -71,6 +72,12 @@ class TestScoping:
 
     def test_rl005_scoped_to_hot_files(self):
         assert _lint("rl005_trigger.py", "RL005", "src/repro/core/selection.py") == []
+
+    def test_rl006_exempt_outside_gateway_handlers(self):
+        # The kernel itself (and drivers, experiments, ...) read
+        # `sim.now` legitimately — only host-level handler code is held
+        # to the host-clock discipline.
+        assert _lint("rl006_trigger.py", "RL006", "src/repro/sim/kernel.py") == []
 
 
 def test_every_rule_has_a_fixture_pair():

@@ -1,4 +1,4 @@
-"""The five repro-lint rules (RL001–RL005).
+"""The six repro-lint rules (RL001–RL006).
 
 Each rule documents the invariant it guards and the sanctioned escape
 hatch; the full catalog with rationale lives in docs/STATIC_ANALYSIS.md.
@@ -19,6 +19,7 @@ __all__ = [
     "FloatEquality",
     "LifecycleSingleWriter",
     "SlottedHotPath",
+    "HostClockDiscipline",
     "rule_by_id",
 ]
 
@@ -385,12 +386,60 @@ class SlottedHotPath(Rule):
         return findings
 
 
+class HostClockDiscipline(Rule):
+    """RL006 — host-level code stamps on its host clock, not the kernel.
+
+    Gateway handlers model software running *on a host*: every
+    timestamp they take must come from that host's virtual clock
+    (``self.clock.now``), which the clock-fault plane can skew, step or
+    freeze.  Reading ``sim.now`` directly silently re-synchronizes the
+    host with the kernel and makes the handler immune to clock faults —
+    precisely the bug class A18 exists to catch.  Physical processes
+    (tracing, wire-level scheduling) read ``self.clock.kernel_now``,
+    the sanctioned escape; scheduling (``sim.call_in``/``call_at``/
+    ``timeout``) is untouched — only the ``.now`` read is host-visible.
+    """
+
+    rule_id = "RL006"
+    title = "host-level timestamps come from the host clock"
+
+    SCOPES = ("/gateway/handlers/",)
+
+    def applies_to(self, path: str) -> bool:
+        return _in_repro(path) and any(scope in path for scope in self.SCOPES)
+
+    def check(self, tree: ast.Module, path: str) -> List[Violation]:
+        findings: List[Violation] = []
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Attribute) and node.attr == "now"):
+                continue
+            value = node.value
+            base: Optional[str] = None
+            if isinstance(value, ast.Attribute):
+                base = value.attr
+            elif isinstance(value, ast.Name):
+                base = value.id
+            if base == "sim":
+                findings.append(
+                    self.violation(
+                        path,
+                        node,
+                        "kernel time `sim.now` leaks into host-level "
+                        "code; stamp with the host clock "
+                        "(`self.clock.now`, or `self.clock.kernel_now` "
+                        "for physical/trace time)",
+                    )
+                )
+        return findings
+
+
 ALL_RULES: Sequence[Rule] = (
     RngDiscipline(),
     SimClockOnly(),
     FloatEquality(),
     LifecycleSingleWriter(),
     SlottedHotPath(),
+    HostClockDiscipline(),
 )
 
 
